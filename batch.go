@@ -1,0 +1,114 @@
+package must
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"must/internal/search"
+	"must/internal/vec"
+)
+
+// SearchBatch answers many queries concurrently, one searcher per worker
+// (searchers are single-goroutine; the underlying index is read-only and
+// shared). Results align with the queries slice. workers ≤ 0 uses
+// GOMAXPROCS.
+//
+// Note the paper's throughput numbers are single-threaded (§VIII-A);
+// SearchBatch is the production-oriented convenience on top.
+func (ix *Index) SearchBatch(queries []Object, opts SearchOptions, workers int) ([][]Match, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(queries) {
+		workers = len(queries)
+	}
+	if opts.K == 0 {
+		opts.K = 10
+	}
+	if opts.L == 0 {
+		opts.L = 4 * opts.K
+		if opts.L < 100 {
+			opts.L = 100
+		}
+	}
+	w := vec.Weights(ix.f.Weights)
+	if opts.Weights != nil {
+		if len(opts.Weights) != ix.c.Modalities() {
+			return nil, fmt.Errorf("must: %d override weights for %d modalities", len(opts.Weights), ix.c.Modalities())
+		}
+		w = vec.Weights(opts.Weights)
+	}
+	// Validate all queries up front so workers cannot race to report
+	// different errors for the same call.
+	converted := make([]vec.Multi, len(queries))
+	for i, q := range queries {
+		mv, err := ix.c.query(q)
+		if err != nil {
+			return nil, fmt.Errorf("must: batch query %d: %w", i, err)
+		}
+		converted[i] = mv
+	}
+
+	out := make([][]Match, len(queries))
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for wk := 0; wk < workers; wk++ {
+		go func(wk int) {
+			defer wg.Done()
+			sOpts := []search.Option{search.WithOptimization(!opts.DisableOptimization)}
+			if ix.dead != nil {
+				sOpts = append(sOpts, search.WithTombstones(ix.dead))
+			}
+			s := search.New(ix.f.Graph, ix.f.Objects, w, sOpts...)
+			for i := wk; i < len(queries); i += workers {
+				res, _, err := s.Search(converted[i], opts.K, opts.L)
+				if err != nil {
+					errs[wk] = err
+					return
+				}
+				ms := make([]Match, len(res))
+				for j, r := range res {
+					ms[j] = Match{ID: r.ID, Similarity: r.IP}
+				}
+				out[i] = ms
+			}
+		}(wk)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// QueryFromObject supports the paper's iterative refinement flow (§IX and
+// §I: "iteratively use a returned target modality example as a reference
+// and express differences through auxiliary modalities"): it builds a new
+// query whose target modality is the stored object's — e.g. a result the
+// user liked — combined with fresh auxiliary vectors. Auxiliary entries
+// may be nil to leave modalities missing (pair with zero weights).
+func (ix *Index) QueryFromObject(id int, aux Object) (Object, error) {
+	if id < 0 || id >= ix.c.Len() {
+		return nil, fmt.Errorf("must: object id %d out of range [0,%d)", id, ix.c.Len())
+	}
+	m := ix.c.Modalities()
+	if len(aux) != m {
+		return nil, fmt.Errorf("must: aux has %d modalities, collection expects %d (index 0 is ignored)", len(aux), m)
+	}
+	q := make(Object, m)
+	q[0] = vec.Clone(ix.c.objects[id][0])
+	for i := 1; i < m; i++ {
+		if aux[i] == nil {
+			continue
+		}
+		if len(aux[i]) != ix.c.dims[i] {
+			return nil, fmt.Errorf("must: aux modality %d has dim %d, expects %d", i, len(aux[i]), ix.c.dims[i])
+		}
+		q[i] = vec.Normalized(aux[i])
+	}
+	return q, nil
+}

@@ -1,0 +1,404 @@
+// Benchmarks mapping to the paper's tables and figures (DESIGN.md §4).
+// Each Benchmark* exercises the hot path behind one experiment at a
+// CI-affordable corpus size; cmd/mustbench regenerates the full tables.
+package must_test
+
+import (
+	"sync"
+	"testing"
+
+	"must/internal/baseline"
+	"must/internal/dataset"
+	"must/internal/encoder"
+	"must/internal/experiments"
+	"must/internal/graph"
+	"must/internal/index"
+	"must/internal/search"
+	"must/internal/vec"
+	"must/internal/weights"
+)
+
+// fixture is a lazily built shared corpus: ImageText-like, 2 modalities.
+type fixture struct {
+	enc     *dataset.Encoded
+	weights vec.Weights
+	fused   *index.Fused
+	mr      *baseline.MR
+	brute   *index.BruteForce
+	mrBrute *baseline.MRBrute
+}
+
+var (
+	fixOnce sync.Once
+	fix     fixture
+
+	bigOnce sync.Once
+	big     fixture
+
+	cocoOnce sync.Once
+	coco     fixture
+)
+
+func featureFixture(b *testing.B, n int) fixture {
+	b.Helper()
+	raw, err := dataset.GenerateFeature(dataset.ImageTextN(n, 7))
+	if err != nil {
+		b.Fatal(err)
+	}
+	enc := dataset.MustEncode(raw, dataset.EncoderSet{Unimodal: []encoder.Encoder{
+		encoder.NewResNet50(raw.ContentDim, 7),
+		encoder.NewOrdinal(raw.AttrDim, 7),
+	}})
+	w := vec.Weights{0.8, 0.6}
+	experiments.FillGroundTruth(enc, w, 10)
+	fused, err := index.BuildFused(enc.Objects, w, graph.Ours(24, 3, 7))
+	if err != nil {
+		b.Fatal(err)
+	}
+	mr, err := baseline.BuildMR(enc.Objects, graph.Ours(24, 3, 7))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return fixture{
+		enc: enc, weights: w, fused: fused, mr: mr,
+		brute:   &index.BruteForce{Objects: enc.Objects, Weights: w},
+		mrBrute: baseline.NewMRBrute(enc.Objects),
+	}
+}
+
+func getFix(b *testing.B) *fixture {
+	fixOnce.Do(func() { fix = featureFixture(b, 4000) })
+	return &fix
+}
+
+func getBig(b *testing.B) *fixture {
+	bigOnce.Do(func() { big = featureFixture(b, 16000) })
+	return &big
+}
+
+func getCoco(b *testing.B) *fixture {
+	cocoOnce.Do(func() {
+		raw, err := dataset.GenerateSemantic(dataset.MSCOCOSim(0.2))
+		if err != nil {
+			b.Fatal(err)
+		}
+		enc := dataset.MustEncode(raw, dataset.EncoderSet{Unimodal: []encoder.Encoder{
+			encoder.NewResNet50(raw.ContentDim, 7),
+			encoder.NewGRU(raw.AttrDim, 7),
+			encoder.NewResNet50(raw.ContentDim, 9),
+		}})
+		w := vec.Weights{0.7, 0.8, 0.5}
+		fused, err := index.BuildFused(enc.Objects, w, graph.Ours(24, 3, 7))
+		if err != nil {
+			b.Fatal(err)
+		}
+		coco = fixture{enc: enc, weights: w, fused: fused}
+	})
+	return &coco
+}
+
+func benchSearch(b *testing.B, s *search.Searcher, queries []dataset.EncodedQuery, k, l int) {
+	b.Helper()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := queries[i%len(queries)]
+		if _, _, err := s.Search(q.Vectors, k, l); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Tab. III–V: accuracy-table search path (semantic 2-modality). ---
+
+func BenchmarkTable3MITStatesMUSTSearch(b *testing.B) {
+	raw, err := dataset.GenerateSemantic(dataset.MITStatesSim(0.1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	enc := dataset.MustEncode(raw, dataset.EncoderSet{Unimodal: []encoder.Encoder{
+		encoder.NewResNet50(raw.ContentDim, 7),
+		encoder.NewLSTM(raw.AttrDim, 7),
+	}})
+	w := vec.Weights{0.8, 0.9}
+	fused, err := index.BuildFused(enc.Objects, w, graph.Ours(24, 3, 7))
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchSearch(b, fused.NewSearcher(), enc.Queries, 10, 200)
+}
+
+// --- Tab. VI: 3-modality search. ---
+
+func BenchmarkTable6ThreeModalitySearch(b *testing.B) {
+	f := getCoco(b)
+	benchSearch(b, f.fused.NewSearcher(), f.enc.Queries, 10, 200)
+}
+
+// --- Fig. 6: the four efficiency competitors. ---
+
+func BenchmarkFig6MUSTSearch(b *testing.B) {
+	f := getFix(b)
+	benchSearch(b, f.fused.NewSearcher(), f.enc.Queries, 10, 160)
+}
+
+func BenchmarkFig6MRSearch(b *testing.B) {
+	f := getFix(b)
+	s := f.mr.NewSearcher()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := f.enc.Queries[i%len(f.enc.Queries)]
+		if _, err := s.Search(q.Vectors, 10, 160); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig6MUSTBruteForce(b *testing.B) {
+	f := getFix(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := f.enc.Queries[i%len(f.enc.Queries)]
+		f.brute.TopK(q.Vectors, 10)
+	}
+}
+
+func BenchmarkFig6MRBruteForce(b *testing.B) {
+	f := getFix(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := f.enc.Queries[i%len(f.enc.Queries)]
+		if _, err := f.mrBrute.Search(q.Vectors, 10, 40); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Tab. VII: response time vs data volume (4k vs 16k). ---
+
+func BenchmarkTable7ScaleSmallMUST(b *testing.B) {
+	f := getFix(b)
+	benchSearch(b, f.fused.NewSearcher(), f.enc.Queries, 10, 160)
+}
+
+func BenchmarkTable7ScaleBigMUST(b *testing.B) {
+	f := getBig(b)
+	benchSearch(b, f.fused.NewSearcher(), f.enc.Queries, 10, 160)
+}
+
+func BenchmarkTable7ScaleSmallBrute(b *testing.B) {
+	f := getFix(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.brute.TopK(f.enc.Queries[i%len(f.enc.Queries)].Vectors, 10)
+	}
+}
+
+func BenchmarkTable7ScaleBigBrute(b *testing.B) {
+	f := getBig(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.brute.TopK(f.enc.Queries[i%len(f.enc.Queries)].Vectors, 10)
+	}
+}
+
+// --- Fig. 7: index construction. ---
+
+func BenchmarkFig7BuildMUST(b *testing.B) {
+	f := getFix(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := index.BuildFused(f.enc.Objects, f.weights, graph.Ours(24, 3, int64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig7BuildMR(b *testing.B) {
+	f := getFix(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := baseline.BuildMR(f.enc.Objects, graph.Ours(24, 3, int64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Fig. 8: k sweep. ---
+
+func BenchmarkFig8K1(b *testing.B) {
+	f := getFix(b)
+	benchSearch(b, f.fused.NewSearcher(), f.enc.Queries, 1, 160)
+}
+
+func BenchmarkFig8K50(b *testing.B) {
+	f := getFix(b)
+	benchSearch(b, f.fused.NewSearcher(), f.enc.Queries, 50, 160)
+}
+
+func BenchmarkFig8K100(b *testing.B) {
+	f := getFix(b)
+	benchSearch(b, f.fused.NewSearcher(), f.enc.Queries, 100, 160)
+}
+
+// --- Fig. 9 / 13: weight learning. ---
+
+func BenchmarkFig9WeightLearning(b *testing.B) {
+	f := getFix(b)
+	n := 100
+	anchors := make([]vec.Multi, 0, n)
+	positives := make([]int, 0, n)
+	pool := make([]vec.Multi, 0, n)
+	for i := 0; i < n; i++ {
+		anchors = append(anchors, f.enc.Queries[i%len(f.enc.Queries)].Vectors)
+		pool = append(pool, f.enc.Objects[i])
+		positives = append(positives, i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := weights.Train(anchors, positives, pool, weights.Config{
+			Epochs: 10, HardNegatives: true, Seed: int64(i), LearningRate: 0.01,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Fig. 10(a): graph construction algorithms. ---
+
+func benchGraphBuild(b *testing.B, build func(*graph.Space) *graph.Graph) {
+	b.Helper()
+	f := getFix(b)
+	space := graph.NewFusedSpace(f.enc.Objects, f.weights)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		build(space)
+	}
+}
+
+func BenchmarkFig10BuildOurs(b *testing.B) {
+	benchGraphBuild(b, func(s *graph.Space) *graph.Graph {
+		g, err := graph.Ours(24, 3, 7).Build(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return g
+	})
+}
+
+func BenchmarkFig10BuildKGraph(b *testing.B) {
+	benchGraphBuild(b, func(s *graph.Space) *graph.Graph {
+		g, err := graph.KGraphAssembly(24, 3, 7).Build(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return g
+	})
+}
+
+func BenchmarkFig10BuildNSG(b *testing.B) {
+	benchGraphBuild(b, func(s *graph.Space) *graph.Graph {
+		g, err := graph.NSGAssembly(24, 3, 48, 7).Build(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return g
+	})
+}
+
+func BenchmarkFig10BuildNSSG(b *testing.B) {
+	benchGraphBuild(b, func(s *graph.Space) *graph.Graph {
+		g, err := graph.NSSGAssembly(24, 3, 7).Build(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return g
+	})
+}
+
+func BenchmarkFig10BuildHNSW(b *testing.B) {
+	benchGraphBuild(b, func(s *graph.Space) *graph.Graph {
+		return graph.BuildHNSW(s, graph.HNSWConfig{M: 12, EfConstruction: 96, Seed: 7})
+	})
+}
+
+func BenchmarkFig10BuildVamana(b *testing.B) {
+	benchGraphBuild(b, func(s *graph.Space) *graph.Graph {
+		return graph.BuildVamana(s, graph.VamanaConfig{Gamma: 24, Beam: 48, Alpha: 1.2, Seed: 7})
+	})
+}
+
+func BenchmarkFig10BuildHCNNG(b *testing.B) {
+	benchGraphBuild(b, func(s *graph.Space) *graph.Graph {
+		return graph.BuildHCNNG(s, graph.HCNNGConfig{Rounds: 3, LeafSize: 200, MaxDegree: 24, Seed: 7})
+	})
+}
+
+// --- Fig. 10(c): partial-IP optimization on vs off. ---
+
+func BenchmarkFig10cWithOptimization(b *testing.B) {
+	f := getFix(b)
+	benchSearch(b, f.fused.NewSearcher(search.WithOptimization(true)), f.enc.Queries, 10, 320)
+}
+
+func BenchmarkFig10cWithoutOptimization(b *testing.B) {
+	f := getFix(b)
+	benchSearch(b, f.fused.NewSearcher(search.WithOptimization(false)), f.enc.Queries, 10, 320)
+}
+
+// --- Tab. XI: NNDescent initialization. ---
+
+func BenchmarkTable11NNDescent(b *testing.B) {
+	f := getFix(b)
+	space := graph.NewFusedSpace(f.enc.Objects, f.weights)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		graph.NNDescent{Iters: 3, Seed: int64(i)}.Init(space, 24)
+	}
+}
+
+// --- Tab. XII: beam sweep. ---
+
+func BenchmarkTable12Beam100(b *testing.B) {
+	f := getFix(b)
+	benchSearch(b, f.fused.NewSearcher(), f.enc.Queries, 10, 100)
+}
+
+func BenchmarkTable12Beam400(b *testing.B) {
+	f := getFix(b)
+	benchSearch(b, f.fused.NewSearcher(), f.enc.Queries, 10, 400)
+}
+
+func BenchmarkTable12Beam1600(b *testing.B) {
+	f := getFix(b)
+	benchSearch(b, f.fused.NewSearcher(), f.enc.Queries, 10, 1600)
+}
+
+// --- Fig. 14/15: γ sweep (build). ---
+
+func BenchmarkFig14Gamma10Build(b *testing.B) {
+	f := getFix(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := index.BuildFused(f.enc.Objects, f.weights, graph.Ours(10, 3, int64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig14Gamma50Build(b *testing.B) {
+	f := getFix(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := index.BuildFused(f.enc.Objects, f.weights, graph.Ours(50, 3, int64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

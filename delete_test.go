@@ -1,0 +1,118 @@
+package must
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Deletion semantics (§IX): tombstoned objects disappear from results but
+// keep routing, and searches still reach everything else.
+func TestDeleteExcludesFromResults(t *testing.T) {
+	c, queries, truths := buildCorpus(t, 400, 10, 21)
+	ix, err := Build(c, c.UniformWeights(), BuildOptions{Gamma: 14, Seed: 22})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Baseline: the planted answer is found.
+	ms, err := ix.Search(queries[0], SearchOptions{K: 3, L: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ms[0].ID != truths[0] {
+		t.Skip("planted answer not top-1 at this seed; deletion test needs it")
+	}
+	if err := ix.Delete(truths[0]); err != nil {
+		t.Fatal(err)
+	}
+	if ix.Deleted() != 1 {
+		t.Fatalf("Deleted() = %d", ix.Deleted())
+	}
+	after, err := ix.Search(queries[0], SearchOptions{K: 3, L: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range after {
+		if m.ID == truths[0] {
+			t.Fatal("deleted object still returned")
+		}
+	}
+	if len(after) != 3 {
+		t.Fatalf("got %d results after deletion, want 3", len(after))
+	}
+}
+
+func TestDeleteIsIdempotentAndValidated(t *testing.T) {
+	c, _, _ := buildCorpus(t, 100, 5, 23)
+	ix, err := Build(c, c.UniformWeights(), BuildOptions{Gamma: 10, Seed: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Delete(5); err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Delete(5); err != nil {
+		t.Fatal(err)
+	}
+	if ix.Deleted() != 1 {
+		t.Fatalf("Deleted() = %d after double delete", ix.Deleted())
+	}
+	if err := ix.Delete(-1); err == nil {
+		t.Error("negative id did not error")
+	}
+	if err := ix.Delete(100); err == nil {
+		t.Error("out-of-range id did not error")
+	}
+}
+
+// Mass deletion must not break routing: with half the corpus tombstoned,
+// searches still return k live results.
+func TestMassDeletionKeepsRouting(t *testing.T) {
+	c, queries, _ := buildCorpus(t, 300, 10, 25)
+	ix, err := Build(c, c.UniformWeights(), BuildOptions{Gamma: 12, Seed: 26})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(27))
+	for i := 0; i < 150; i++ {
+		if err := ix.Delete(rng.Intn(300)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, q := range queries {
+		ms, err := ix.Search(q, SearchOptions{K: 5, L: 250})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ms) != 5 {
+			t.Fatalf("got %d live results, want 5", len(ms))
+		}
+		for _, m := range ms {
+			if ix.dead[m.ID] {
+				t.Fatal("tombstoned object returned")
+			}
+		}
+	}
+}
+
+// Rebuilding after deletions restores a clean index (the paper's periodic
+// reconstruction).
+func TestRebuildClearsTombstones(t *testing.T) {
+	c, queries, _ := buildCorpus(t, 200, 5, 28)
+	ix, err := Build(c, c.UniformWeights(), BuildOptions{Gamma: 10, Seed: 29})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Delete(0); err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := Build(c, c.UniformWeights(), BuildOptions{Gamma: 10, Seed: 29})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh.Deleted() != 0 {
+		t.Fatalf("fresh index reports %d deletions", fresh.Deleted())
+	}
+	if _, err := fresh.Search(queries[0], SearchOptions{K: 3}); err != nil {
+		t.Fatal(err)
+	}
+}

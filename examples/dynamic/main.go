@@ -1,0 +1,115 @@
+// Dynamic demonstrates the §IX index-maintenance features on a live
+// index: incremental insertion (HNSW/Vamana-style neighbor search +
+// linking), tombstone deletion (excluded from results, kept for routing),
+// filtered search (the §III hybrid-query setting), and the iterative
+// refinement loop (reuse a returned result as the next query's target
+// reference).
+//
+//	go run ./examples/dynamic
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"must"
+)
+
+const (
+	imageDim = 24
+	textDim  = 12
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(7))
+	c := must.NewCollection(imageDim, textDim)
+	for i := 0; i < 2000; i++ {
+		if _, err := c.Add(must.Object{randVec(rng, imageDim), randVec(rng, textDim)}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	ix, err := must.Build(c, c.UniformWeights(), must.BuildOptions{Gamma: 16, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("built index over %d objects\n", ix.Stats().Objects)
+
+	// 1. Incremental insert: a brand-new product appears.
+	img := randVec(rng, imageDim)
+	txt := randVec(rng, textDim)
+	newID, err := ix.Insert(must.Object{img, txt})
+	if err != nil {
+		log.Fatal(err)
+	}
+	q := must.Object{perturb(rng, img, 0.05), perturb(rng, txt, 0.05)}
+	ms, err := ix.Search(q, must.SearchOptions{K: 3, L: 150})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("inserted object %d; query for it returns top-1 = %d (sim %.3f)\n",
+		newID, ms[0].ID, ms[0].Similarity)
+
+	// 2. Tombstone deletion: the product is discontinued.
+	if err := ix.Delete(newID); err != nil {
+		log.Fatal(err)
+	}
+	ms, err = ix.Search(q, must.SearchOptions{K: 3, L: 150})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after Delete(%d): top-1 = %d (deleted objects keep routing, never surface)\n",
+		newID, ms[0].ID)
+
+	// 3. Filtered search: only even IDs qualify (an attribute predicate).
+	ms, err = ix.Search(q, must.SearchOptions{K: 5, L: 200, Filter: func(id int) bool { return id%2 == 0 }})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print("hybrid query (id%2==0):")
+	for _, m := range ms {
+		fmt.Printf(" %d", m.ID)
+	}
+	fmt.Println()
+
+	// 4. Iterative refinement: take the current best, keep its look,
+	// change the wish (§IX single-modality interaction loop).
+	picked := ms[0].ID
+	refined, err := ix.QueryFromObject(picked, must.Object{nil, randVec(rng, textDim)})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ms, err = ix.Search(refined, must.SearchOptions{K: 3, L: 150})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("refined around object %d with a new text wish: top-3 =", picked)
+	for _, m := range ms {
+		fmt.Printf(" %d", m.ID)
+	}
+	fmt.Println()
+
+	// 5. Early termination: trade a little recall for latency.
+	fast, err := ix.Search(q, must.SearchOptions{K: 3, L: 400, Patience: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("early-terminated search still returns %d results (top sim %.3f)\n",
+		len(fast), fast[0].Similarity)
+}
+
+func randVec(rng *rand.Rand, dim int) []float32 {
+	v := make([]float32, dim)
+	for i := range v {
+		v[i] = float32(rng.NormFloat64())
+	}
+	return v
+}
+
+func perturb(rng *rand.Rand, v []float32, eps float64) []float32 {
+	out := make([]float32, len(v))
+	for i := range v {
+		out[i] = v[i] + float32(rng.NormFloat64()*eps)
+	}
+	return out
+}

@@ -1,0 +1,86 @@
+// Multimodal3 runs the MS-COCO-style 3-modality workload (image* ×2 +
+// text, §VIII-A): a query combines a reference image, a second image
+// contributing extra elements, and a text constraint. It compares MUST's
+// joint search against searching any single modality, and shows the t ≠ m
+// case — dropping a query modality via a zero weight (§VII-B).
+//
+//	go run ./examples/multimodal3
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"must"
+	"must/internal/dataset"
+	"must/internal/encoder"
+	"must/internal/metrics"
+)
+
+func main() {
+	raw, err := dataset.GenerateSemantic(dataset.MSCOCOSim(0.2))
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Layout: [target image, caption text, second image].
+	set := dataset.EncoderSet{Unimodal: []encoder.Encoder{
+		encoder.NewResNet50(raw.ContentDim, 7),
+		encoder.NewGRU(raw.AttrDim, 7),
+		encoder.NewResNet50(raw.ContentDim, 9),
+	}}
+	enc := dataset.MustEncode(raw, set)
+	fmt.Printf("corpus: %d scenes, 3 modalities (%s)\n", len(enc.Objects), enc.EncoderLabel)
+
+	c := must.NewCollection(enc.Dims...)
+	for _, o := range enc.Objects {
+		if _, err := c.Add(must.Object(o)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	var trainQ []must.Object
+	var trainPos []int
+	for _, q := range enc.Queries[:150] {
+		trainQ = append(trainQ, must.Object(q.Vectors))
+		trainPos = append(trainPos, q.GroundTruth[0])
+	}
+	w, err := must.LearnWeights(c, trainQ, trainPos, must.WeightConfig{Epochs: 150, LearningRate: 0.01, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("learned weights ω²: image=%.3f text=%.3f image2=%.3f\n",
+		w[0]*w[0], w[1]*w[1], w[2]*w[2])
+
+	ix, err := must.Build(c, w, must.BuildOptions{Gamma: 24, Seed: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	eval := enc.Queries[150:]
+	if len(eval) > 150 {
+		eval = eval[:150]
+	}
+	recallAt10 := func(weights must.Weights) float64 {
+		var results, truths [][]int
+		for _, q := range eval {
+			ms, err := ix.Search(must.Object(q.Vectors), must.SearchOptions{K: 10, L: 300, Weights: weights})
+			if err != nil {
+				log.Fatal(err)
+			}
+			ids := make([]int, len(ms))
+			for i, m := range ms {
+				ids[i] = m.ID
+			}
+			results = append(results, ids)
+			truths = append(truths, q.GroundTruth)
+		}
+		return metrics.MeanRecall(results, truths)
+	}
+
+	fmt.Println("\nRecall@10(1) over", len(eval), "held-out queries:")
+	fmt.Printf("  all three modalities (learned ω):  %.4f\n", recallAt10(nil))
+	fmt.Printf("  without the text     (t=2):        %.4f\n", recallAt10(must.Weights{w[0], 0, w[2]}))
+	fmt.Printf("  without image #2     (t=2):        %.4f\n", recallAt10(must.Weights{w[0], w[1], 0}))
+	fmt.Printf("  target image only    (t=1):        %.4f\n", recallAt10(must.Weights{1, 0, 0}))
+	fmt.Println("\nMore query modalities → better recall (the Tab. VIII / Tab. X effect);")
+	fmt.Println("missing modalities degrade gracefully via zero weights, no rebuild needed.")
+}

@@ -1,0 +1,110 @@
+// Quickstart: the minimal end-to-end MUST pipeline using only the public
+// API — add multimodal objects, learn modality weights from a handful of
+// (query, true answer) pairs, build the fused index, and search.
+//
+// The "embeddings" here are synthetic: each object is a product with an
+// image vector (modality 0, the target) and a description vector
+// (modality 1). A query gives a reference image plus a description tweak;
+// the planted answer matches both.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"must"
+)
+
+const (
+	imageDim = 32
+	textDim  = 16
+	corpus   = 3000
+	training = 100
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(42))
+	c := must.NewCollection(imageDim, textDim)
+
+	// Plant training pairs: object i is the true answer for query i.
+	var trainQueries []must.Object
+	var trainPositives []int
+	for i := 0; i < training; i++ {
+		img := randVec(rng, imageDim)
+		txt := randVec(rng, textDim)
+		id, err := c.Add(must.Object{perturb(rng, img, 0.1), perturb(rng, txt, 0.1)})
+		if err != nil {
+			log.Fatal(err)
+		}
+		trainQueries = append(trainQueries, must.Object{perturb(rng, img, 0.1), perturb(rng, txt, 0.1)})
+		trainPositives = append(trainPositives, id)
+	}
+	// Background corpus.
+	for c.Len() < corpus {
+		if _, err := c.Add(must.Object{randVec(rng, imageDim), randVec(rng, textDim)}); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// 1. Learn the modality weights (§VI of the paper).
+	w, err := must.LearnWeights(c, trainQueries, trainPositives, must.WeightConfig{
+		Epochs: 150, LearningRate: 0.02, Negatives: 5, Seed: 1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("learned weights: ω0²=%.3f ω1²=%.3f\n", w[0]*w[0], w[1]*w[1])
+
+	// 2. Build the fused proximity-graph index (§VII).
+	ix, err := must.Build(c, w, must.BuildOptions{Gamma: 20, Seed: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := ix.Stats()
+	fmt.Printf("index: %d objects, %d edges, %.1f avg degree, built in %dms\n",
+		st.Objects, st.Edges, st.AvgDegree, st.BuildTime/1e6)
+
+	// 3. Search with a held-out query built the same way as training.
+	img := randVec(rng, imageDim)
+	txt := randVec(rng, textDim)
+	wantID, err := c.Add(must.Object{perturb(rng, img, 0.1), perturb(rng, txt, 0.1)})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Rebuild to include the new object (the index is a static snapshot).
+	ix, err = must.Build(c, w, must.BuildOptions{Gamma: 20, Seed: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	matches, err := ix.Search(must.Object{perturb(rng, img, 0.1), perturb(rng, txt, 0.1)}, must.SearchOptions{K: 5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("top-5 matches:")
+	for rank, m := range matches {
+		mark := " "
+		if m.ID == wantID {
+			mark = "*"
+		}
+		fmt.Printf("  %d.%s object %d (joint similarity %.4f)\n", rank+1, mark, m.ID, m.Similarity)
+	}
+}
+
+func randVec(rng *rand.Rand, dim int) []float32 {
+	v := make([]float32, dim)
+	for i := range v {
+		v[i] = float32(rng.NormFloat64())
+	}
+	return v
+}
+
+func perturb(rng *rand.Rand, v []float32, eps float64) []float32 {
+	out := make([]float32, len(v))
+	for i := range v {
+		out[i] = v[i] + float32(rng.NormFloat64()*eps)
+	}
+	return out
+}

@@ -1,0 +1,77 @@
+// Scale demonstrates the Tab. VII trend: exact multi-vector search grows
+// linearly with corpus size while MUST's fused-graph search stays nearly
+// flat, at matched (near-exact) recall.
+//
+//	go run ./examples/scale [-base 4000]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"must"
+	"must/internal/dataset"
+	"must/internal/encoder"
+)
+
+func main() {
+	base := flag.Int("base", 4000, "base corpus size; the sweep runs 1x/2x/4x")
+	flag.Parse()
+
+	fmt.Println("n        build      exact/query   MUST/query   speedup")
+	for _, factor := range []int{1, 2, 4} {
+		n := *base * factor
+		raw, err := dataset.GenerateFeature(dataset.ImageTextN(n, 7))
+		if err != nil {
+			log.Fatal(err)
+		}
+		set := dataset.EncoderSet{Unimodal: []encoder.Encoder{
+			encoder.NewResNet50(raw.ContentDim, 7),
+			encoder.NewOrdinal(raw.AttrDim, 7),
+		}}
+		enc := dataset.MustEncode(raw, set)
+
+		c := must.NewCollection(enc.Dims...)
+		for _, o := range enc.Objects {
+			if _, err := c.Add(must.Object(o)); err != nil {
+				log.Fatal(err)
+			}
+		}
+		w := c.UniformWeights()
+		buildStart := time.Now()
+		ix, err := must.Build(c, w, must.BuildOptions{Gamma: 24, Seed: 2})
+		if err != nil {
+			log.Fatal(err)
+		}
+		buildTime := time.Since(buildStart)
+
+		queries := enc.Queries
+		if len(queries) > 100 {
+			queries = queries[:100]
+		}
+		exactStart := time.Now()
+		for _, q := range queries {
+			if _, err := c.ExactSearch(must.Object(q.Vectors), w, 10); err != nil {
+				log.Fatal(err)
+			}
+		}
+		exactPer := time.Since(exactStart) / time.Duration(len(queries))
+
+		graphStart := time.Now()
+		for _, q := range queries {
+			if _, err := ix.Search(must.Object(q.Vectors), must.SearchOptions{K: 10, L: 80}); err != nil {
+				log.Fatal(err)
+			}
+		}
+		graphPer := time.Since(graphStart) / time.Duration(len(queries))
+
+		fmt.Printf("%-8d %-10v %-13v %-12v %.1fx\n",
+			n, buildTime.Round(time.Millisecond),
+			exactPer.Round(time.Microsecond), graphPer.Round(time.Microsecond),
+			float64(exactPer)/float64(graphPer))
+	}
+	fmt.Println("\nExact per-query time grows with n; the fused-graph search barely moves —")
+	fmt.Println("the Tab. VII scalability result (98.4% response-time reduction at 16M).")
+}

@@ -1,0 +1,191 @@
+package baseline
+
+import (
+	"math/rand"
+	"testing"
+
+	"must/internal/graph"
+	"must/internal/vec"
+)
+
+// fixture builds clustered 2-modality objects plus queries whose true
+// answer is a planted object matching both modalities.
+func fixture(n int, seed int64) (objects []vec.Multi, queries []vec.Multi, truths []int) {
+	rng := rand.New(rand.NewSource(seed))
+	const nq = 25
+	for qi := 0; qi < nq; qi++ {
+		content := vec.RandUnit(rng, 16)
+		attr := vec.RandUnit(rng, 8)
+		objects = append(objects, vec.Multi{
+			vec.AddGaussianNoise(rng, content, 0.2),
+			vec.AddGaussianNoise(rng, attr, 0.2),
+		})
+		queries = append(queries, vec.Multi{
+			vec.AddGaussianNoise(rng, content, 0.2),
+			vec.AddGaussianNoise(rng, attr, 0.2),
+		})
+		truths = append(truths, qi)
+	}
+	for len(objects) < n {
+		objects = append(objects, vec.Multi{vec.RandUnit(rng, 16), vec.RandUnit(rng, 8)})
+	}
+	return
+}
+
+func pipeline(seed int64) graph.Pipeline { return graph.Ours(12, 3, seed) }
+
+func TestJEFindsPlantedMatches(t *testing.T) {
+	objects, queries, truths := fixture(600, 1)
+	je, err := BuildJE(objects, pipeline(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := je.NewSearcher()
+	hits := 0
+	for i, q := range queries {
+		got, err := s.Search(q, 5, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, id := range got {
+			if id == truths[i] {
+				hits++
+				break
+			}
+		}
+	}
+	// JE only matches modality 0, which here is strongly aligned, so
+	// recall@5 should be high on this easy fixture.
+	if hits < len(queries)*7/10 {
+		t.Errorf("JE recall@5 = %d/%d, too low for the easy fixture", hits, len(queries))
+	}
+}
+
+func TestMRFindsPlantedMatches(t *testing.T) {
+	objects, queries, truths := fixture(600, 3)
+	mr, err := BuildMR(objects, pipeline(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mr.Indexes()) != 2 {
+		t.Fatalf("MR built %d indexes, want 2", len(mr.Indexes()))
+	}
+	s := mr.NewSearcher()
+	hits := 0
+	for i, q := range queries {
+		got, err := s.Search(q, 5, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, id := range got {
+			if id == truths[i] {
+				hits++
+				break
+			}
+		}
+	}
+	if hits < len(queries)*7/10 {
+		t.Errorf("MR recall@5 = %d/%d, too low for the easy fixture", hits, len(queries))
+	}
+}
+
+func TestMRIntersectionPrecedesUnion(t *testing.T) {
+	objects, queries, _ := fixture(400, 5)
+	mr, err := BuildMR(objects, pipeline(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := mr.NewSearcher()
+	got, err := s.Search(queries[0], 50, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) == 0 {
+		t.Fatal("no results")
+	}
+	// Re-run the per-stream searches to classify members.
+	inStream := make([]map[int]bool, 2)
+	for i := 0; i < 2; i++ {
+		idx := mr.Indexes()[i].NewSearcher()
+		res, _, err := idx.Search(vec.Multi{queries[0][i]}, 60, 60)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inStream[i] = map[int]bool{}
+		for _, r := range res {
+			inStream[i][r.ID] = true
+		}
+	}
+	sawUnionOnly := false
+	for _, id := range got {
+		full := inStream[0][id] && inStream[1][id]
+		if full && sawUnionOnly {
+			t.Fatal("intersection member ranked after union-only member")
+		}
+		if !full {
+			sawUnionOnly = true
+		}
+	}
+}
+
+func TestMRBruteMatchesShape(t *testing.T) {
+	objects, queries, truths := fixture(300, 7)
+	mb := NewMRBrute(objects)
+	hits := 0
+	for i, q := range queries {
+		got, err := mb.Search(q, 5, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) == 0 {
+			t.Fatal("MR-- returned nothing")
+		}
+		for _, id := range got {
+			if id == truths[i] {
+				hits++
+				break
+			}
+		}
+	}
+	if hits < len(queries)*7/10 {
+		t.Errorf("MR-- recall@5 = %d/%d", hits, len(queries))
+	}
+}
+
+func TestMRValidation(t *testing.T) {
+	if _, err := BuildMR(nil, pipeline(8)); err == nil {
+		t.Error("empty BuildMR did not error")
+	}
+	objects, queries, _ := fixture(200, 9)
+	mr, err := BuildMR(objects, pipeline(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := mr.NewSearcher()
+	if _, err := s.Search(vec.Multi{queries[0][0]}, 5, 50); err == nil {
+		t.Error("modality mismatch did not error")
+	}
+	mb := NewMRBrute(objects)
+	if _, err := mb.Search(vec.Multi{queries[0][0]}, 5, 50); err == nil {
+		t.Error("MR-- modality mismatch did not error")
+	}
+}
+
+func TestMRAccounting(t *testing.T) {
+	objects, _, _ := fixture(200, 11)
+	mr, err := BuildMR(objects, pipeline(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mr.BuildTime() <= 0 {
+		t.Error("MR build time not recorded")
+	}
+	if mr.SizeBytes() <= 0 {
+		t.Error("MR size not positive")
+	}
+	// MR carries one graph per modality, so it must be larger than any
+	// single one of them.
+	if mr.SizeBytes() <= mr.Indexes()[0].SizeBytes() {
+		t.Error("MR total size must exceed single index size")
+	}
+}

@@ -1,0 +1,237 @@
+package dataset
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"must/internal/vec"
+)
+
+// Binary format for encoded datasets, little-endian throughout:
+//
+//	magic "MUSTDS1\n" (8 bytes)
+//	nameLen uint32, name bytes
+//	encoderLabelLen uint32, label bytes
+//	m uint32
+//	dims: m × uint32
+//	numObjects uint32
+//	objects: numObjects × (per modality: dim × float32)
+//	numQueries uint32
+//	queries: numQueries × (per modality: dim × float32,
+//	         then gtLen uint32, gt: gtLen × uint32)
+//
+// The format exists so cmd/mustgen can generate once and cmd/mustbench /
+// cmd/mustsearch can reload, and to exercise a realistic storage layer.
+
+var magic = [8]byte{'M', 'U', 'S', 'T', 'D', 'S', '1', '\n'}
+
+// WriteEncoded serializes e to w.
+func WriteEncoded(w io.Writer, e *Encoded) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return err
+	}
+	writeString := func(s string) error {
+		if err := binary.Write(bw, binary.LittleEndian, uint32(len(s))); err != nil {
+			return err
+		}
+		_, err := bw.WriteString(s)
+		return err
+	}
+	if err := writeString(e.Name); err != nil {
+		return err
+	}
+	if err := writeString(e.EncoderLabel); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(e.M)); err != nil {
+		return err
+	}
+	for _, d := range e.Dims {
+		if err := binary.Write(bw, binary.LittleEndian, uint32(d)); err != nil {
+			return err
+		}
+	}
+	writeVec := func(v []float32) error {
+		var buf [4]byte
+		for _, x := range v {
+			binary.LittleEndian.PutUint32(buf[:], math.Float32bits(x))
+			if _, err := bw.Write(buf[:]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(e.Objects))); err != nil {
+		return err
+	}
+	for _, o := range e.Objects {
+		for _, v := range o {
+			if err := writeVec(v); err != nil {
+				return err
+			}
+		}
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(e.Queries))); err != nil {
+		return err
+	}
+	for _, q := range e.Queries {
+		for _, v := range q.Vectors {
+			if err := writeVec(v); err != nil {
+				return err
+			}
+		}
+		if err := binary.Write(bw, binary.LittleEndian, uint32(len(q.GroundTruth))); err != nil {
+			return err
+		}
+		for _, id := range q.GroundTruth {
+			if err := binary.Write(bw, binary.LittleEndian, uint32(id)); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadEncoded deserializes an encoded dataset from r.
+func ReadEncoded(r io.Reader) (*Encoded, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	var got [8]byte
+	if _, err := io.ReadFull(br, got[:]); err != nil {
+		return nil, fmt.Errorf("dataset: reading magic: %w", err)
+	}
+	if got != magic {
+		return nil, fmt.Errorf("dataset: bad magic %q", got[:])
+	}
+	readU32 := func() (uint32, error) {
+		var x uint32
+		err := binary.Read(br, binary.LittleEndian, &x)
+		return x, err
+	}
+	readString := func() (string, error) {
+		n, err := readU32()
+		if err != nil {
+			return "", err
+		}
+		if n > 1<<20 {
+			return "", fmt.Errorf("dataset: unreasonable string length %d", n)
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return "", err
+		}
+		return string(buf), nil
+	}
+	e := &Encoded{}
+	var err error
+	if e.Name, err = readString(); err != nil {
+		return nil, fmt.Errorf("dataset: reading name: %w", err)
+	}
+	if e.EncoderLabel, err = readString(); err != nil {
+		return nil, fmt.Errorf("dataset: reading encoder label: %w", err)
+	}
+	m, err := readU32()
+	if err != nil {
+		return nil, err
+	}
+	if m == 0 || m > 64 {
+		return nil, fmt.Errorf("dataset: unreasonable modality count %d", m)
+	}
+	e.M = int(m)
+	e.Dims = make([]int, m)
+	total := 0
+	for i := range e.Dims {
+		d, err := readU32()
+		if err != nil {
+			return nil, err
+		}
+		if d == 0 || d > 1<<16 {
+			return nil, fmt.Errorf("dataset: unreasonable dim %d", d)
+		}
+		e.Dims[i] = int(d)
+		total += int(d)
+	}
+	readMulti := func() ([][]float32, error) {
+		flat := make([]float32, total)
+		if err := binary.Read(br, binary.LittleEndian, flat); err != nil {
+			return nil, err
+		}
+		mv := make([][]float32, m)
+		off := 0
+		for i, d := range e.Dims {
+			mv[i] = flat[off : off+d : off+d]
+			off += d
+		}
+		return mv, nil
+	}
+	nObj, err := readU32()
+	if err != nil {
+		return nil, err
+	}
+	e.Objects = make([]vec.Multi, 0, nObj)
+	for i := uint32(0); i < nObj; i++ {
+		mv, err := readMulti()
+		if err != nil {
+			return nil, fmt.Errorf("dataset: reading object %d: %w", i, err)
+		}
+		e.Objects = append(e.Objects, mv)
+	}
+	nQ, err := readU32()
+	if err != nil {
+		return nil, err
+	}
+	e.Queries = make([]EncodedQuery, 0, nQ)
+	for i := uint32(0); i < nQ; i++ {
+		mv, err := readMulti()
+		if err != nil {
+			return nil, fmt.Errorf("dataset: reading query %d: %w", i, err)
+		}
+		gtLen, err := readU32()
+		if err != nil {
+			return nil, err
+		}
+		if gtLen > nObj {
+			return nil, fmt.Errorf("dataset: query %d ground truth length %d exceeds object count", i, gtLen)
+		}
+		gt := make([]int, gtLen)
+		for j := range gt {
+			id, err := readU32()
+			if err != nil {
+				return nil, err
+			}
+			if id >= nObj {
+				return nil, fmt.Errorf("dataset: query %d ground truth id %d out of range", i, id)
+			}
+			gt[j] = int(id)
+		}
+		e.Queries = append(e.Queries, EncodedQuery{Vectors: mv, GroundTruth: gt})
+	}
+	return e, nil
+}
+
+// SaveEncoded writes e to the file at path.
+func SaveEncoded(path string, e *Encoded) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteEncoded(f, e); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadEncoded reads an encoded dataset from the file at path.
+func LoadEncoded(path string) (*Encoded, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadEncoded(f)
+}

@@ -1,0 +1,222 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+
+	"must/internal/vec"
+)
+
+// SemanticConfig parameterizes the semantic dataset generator, which
+// produces the CelebA / MIT-States / Shopping / MS-COCO / CelebA+
+// analogues.
+//
+// Modality layout of the generated objects and queries:
+//
+//	0                     target content (image)
+//	1                     attribute (text)
+//	2 (if SecondContent)  second content (the MS-COCO second image)
+//	then ContentViews     extra views of the content latent (CelebA+'s
+//	                      additional image modalities, distinguished only
+//	                      by the encoder applied to them)
+type SemanticConfig struct {
+	// Name labels the dataset.
+	Name string
+	// Seed drives all randomness; equal configs generate equal datasets.
+	Seed int64
+	// NumObjects and NumQueries size the object set and workload.
+	// NumObjects must be at least NumQueries*(1+RefDistractors).
+	NumObjects, NumQueries int
+	// ContentDim and AttrDim are the latent dimensions.
+	ContentDim, AttrDim int
+	// NumAttrs is the number of attribute clusters (MIT-States
+	// adjectives, CelebA attribute combinations, ...). Each object's
+	// attribute latent is a jittered cluster center.
+	NumAttrs int
+	// AttrJitter is the noise-to-signal ratio of per-object attribute
+	// jitter around the cluster center.
+	AttrJitter float64
+	// ComposeAlpha is the modification strength: the composed latent is
+	// normalize(ref + ComposeAlpha·dir(attr)) — how far the auxiliary
+	// modification moves the target content.
+	ComposeAlpha float64
+	// RefDistractors is the number of planted objects per query that are
+	// near the query's reference content but carry a different attribute
+	// (the e/f-style confusers of Fig. 3).
+	RefDistractors int
+	// RefDistractorNoise is the noise-to-signal ratio of those
+	// distractors' content latents around the reference.
+	RefDistractorNoise float64
+	// SecondContent adds the MS-COCO-style second content modality.
+	SecondContent bool
+	// SecondAlpha is the composition strength of the second content.
+	SecondAlpha float64
+	// ContentViews adds that many extra modalities sharing the content
+	// latent (CelebA+).
+	ContentViews int
+	// ContentClusters, when positive, draws reference and background
+	// contents from that many clusters instead of uniformly — faces and
+	// products are clumpy, and the cluster-mates are the natural
+	// confusers that make MSTM hard (Fig. 3's b–f candidates).
+	ContentClusters int
+	// ContentJitter is the noise-to-signal ratio around content cluster
+	// centers.
+	ContentJitter float64
+	// TargetNoise displaces the ground-truth object's content from the
+	// exact composed latent: the true answer matches the composition only
+	// semantically, not geometrically. High values make the dataset hard
+	// (MS-COCO's Recall@10 ≈ 0.09 regime).
+	TargetNoise float64
+}
+
+func (c SemanticConfig) validate() error {
+	if c.NumObjects <= 0 || c.NumQueries <= 0 {
+		return fmt.Errorf("dataset %s: need positive objects and queries", c.Name)
+	}
+	planted := c.NumQueries * (1 + c.RefDistractors)
+	if c.NumObjects < planted {
+		return fmt.Errorf("dataset %s: %d objects cannot hold %d planted objects", c.Name, c.NumObjects, planted)
+	}
+	if c.ContentDim <= 0 || c.AttrDim <= 0 || c.NumAttrs <= 0 {
+		return fmt.Errorf("dataset %s: invalid dims/attrs", c.Name)
+	}
+	return nil
+}
+
+// modalities returns the number of modalities implied by the config.
+func (c SemanticConfig) modalities() int {
+	m := 2
+	if c.SecondContent {
+		m++
+	}
+	return m + c.ContentViews
+}
+
+// GenerateSemantic builds a semantic dataset from cfg. Objects are laid
+// out as: for each query, first its ground-truth object then its reference
+// distractors; remaining slots are background objects with random content
+// and clustered attributes.
+func GenerateSemantic(cfg SemanticConfig) (*Raw, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	m := cfg.modalities()
+	raw := &Raw{
+		Name:       cfg.Name,
+		M:          m,
+		ContentDim: cfg.ContentDim,
+		AttrDim:    cfg.AttrDim,
+		Objects:    make([]RawObject, 0, cfg.NumObjects),
+		Queries:    make([]RawQuery, 0, cfg.NumQueries),
+	}
+
+	// Attribute cluster centers and the fixed map from attribute latent
+	// space into content latent space (the "direction" an attribute
+	// modification moves content in).
+	attrs := make([][]float32, cfg.NumAttrs)
+	for i := range attrs {
+		attrs[i] = vec.RandUnit(rng, cfg.AttrDim)
+	}
+	attrToContent := vec.RandProjection(rng, cfg.ContentDim, cfg.AttrDim)
+
+	// Optional content clusters (clumpy corpora).
+	var contentCenters [][]float32
+	if cfg.ContentClusters > 0 {
+		contentCenters = make([][]float32, cfg.ContentClusters)
+		for i := range contentCenters {
+			contentCenters[i] = vec.RandUnit(rng, cfg.ContentDim)
+		}
+	}
+	drawContent := func() []float32 {
+		if contentCenters == nil {
+			return vec.RandUnit(rng, cfg.ContentDim)
+		}
+		return vec.AddGaussianNoise(rng, contentCenters[rng.Intn(len(contentCenters))], cfg.ContentJitter)
+	}
+
+	contentDir := func(attr []float32) []float32 {
+		return vec.ApplyProjection(attrToContent, cfg.ContentDim, attr)
+	}
+	compose := func(ref, attr, second []float32) []float32 {
+		out := vec.Clone(ref)
+		vec.AXPY(float32(cfg.ComposeAlpha), contentDir(attr), out)
+		if second != nil {
+			vec.AXPY(float32(cfg.SecondAlpha), second, out)
+		}
+		return vec.Normalize(out)
+	}
+	buildObject := func(content, attr, second []float32) RawObject {
+		lat := make([][]float32, 0, m)
+		lat = append(lat, content, attr)
+		if cfg.SecondContent {
+			lat = append(lat, second)
+		}
+		for v := 0; v < cfg.ContentViews; v++ {
+			lat = append(lat, content)
+		}
+		return RawObject{Latents: lat}
+	}
+
+	for qi := 0; qi < cfg.NumQueries; qi++ {
+		ref := drawContent()
+		cluster := rng.Intn(cfg.NumAttrs)
+		attrObj := vec.AddGaussianNoise(rng, attrs[cluster], cfg.AttrJitter)
+		attrQuery := vec.AddGaussianNoise(rng, attrs[cluster], cfg.AttrJitter)
+
+		var secondObj, secondQuery []float32
+		if cfg.SecondContent {
+			secondQuery = drawContent()
+			secondObj = vec.AddGaussianNoise(rng, secondQuery, cfg.AttrJitter)
+		}
+
+		// Ground-truth object: composed content + the query's attribute.
+		gtID := len(raw.Objects)
+		gtContent := compose(ref, attrObj, secondObj)
+		if cfg.TargetNoise > 0 {
+			gtContent = vec.AddGaussianNoise(rng, gtContent, cfg.TargetNoise)
+		}
+		raw.Objects = append(raw.Objects, buildObject(gtContent, attrObj, secondObj))
+
+		// Reference distractors: near the reference, wrong attribute.
+		for d := 0; d < cfg.RefDistractors; d++ {
+			wrong := cluster
+			for wrong == cluster && cfg.NumAttrs > 1 {
+				wrong = rng.Intn(cfg.NumAttrs)
+			}
+			content := vec.AddGaussianNoise(rng, ref, cfg.RefDistractorNoise)
+			var second []float32
+			if cfg.SecondContent {
+				second = drawContent()
+			}
+			raw.Objects = append(raw.Objects, buildObject(content, vec.AddGaussianNoise(rng, attrs[wrong], cfg.AttrJitter), second))
+		}
+
+		// Query latents.
+		qlat := make([][]float32, 0, m)
+		qlat = append(qlat, ref, attrQuery)
+		if cfg.SecondContent {
+			qlat = append(qlat, secondQuery)
+		}
+		for v := 0; v < cfg.ContentViews; v++ {
+			qlat = append(qlat, ref)
+		}
+		raw.Queries = append(raw.Queries, RawQuery{
+			Latents:     qlat,
+			Composed:    compose(ref, attrQuery, secondQuery),
+			GroundTruth: []int{gtID},
+		})
+	}
+
+	// Background objects: random content, clustered attributes.
+	for len(raw.Objects) < cfg.NumObjects {
+		content := drawContent()
+		attr := vec.AddGaussianNoise(rng, attrs[rng.Intn(cfg.NumAttrs)], cfg.AttrJitter)
+		var second []float32
+		if cfg.SecondContent {
+			second = drawContent()
+		}
+		raw.Objects = append(raw.Objects, buildObject(content, attr, second))
+	}
+	return raw, nil
+}

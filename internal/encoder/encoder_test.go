@@ -1,0 +1,169 @@
+package encoder
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"must/internal/vec"
+)
+
+func TestEncodeDeterministic(t *testing.T) {
+	e := NewResNet50(16, 42)
+	rng := rand.New(rand.NewSource(1))
+	latent := vec.RandUnit(rng, 16)
+	a := e.Encode(latent)
+	b := e.Encode(latent)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("Encode is not deterministic for identical content")
+		}
+	}
+}
+
+func TestEncodeOutputIsUnit(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	encoders := []Encoder{
+		NewResNet17(12, 7), NewResNet50(12, 7), NewLSTM(12, 7),
+		NewTransformer(12, 7), NewGRU(12, 7), NewOrdinal(12, 7),
+	}
+	for _, e := range encoders {
+		v := e.Encode(vec.RandUnit(rng, 12))
+		if n := vec.Norm(v); math.Abs(float64(n)-1) > 1e-4 {
+			t.Errorf("%s output norm = %v, want 1", e.Name(), n)
+		}
+		if len(v) != e.Dim() {
+			t.Errorf("%s output dim = %d, want %d", e.Name(), len(v), e.Dim())
+		}
+	}
+}
+
+func TestDifferentSeedsGiveDifferentProjections(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	latent := vec.RandUnit(rng, 16)
+	a := NewResNet50(16, 1).Encode(latent)
+	b := NewResNet50(16, 2).Encode(latent)
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical encoders")
+	}
+}
+
+// Better encoders (lower sigma) must preserve latent similarity structure
+// better: the expected IP between embeddings of nearby latents should be
+// higher under ResNet50 than ResNet17.
+func TestEncoderQualityOrdering(t *testing.T) {
+	const latentDim = 24
+	r17 := NewResNet17(latentDim, 99)
+	r50 := NewResNet50(latentDim, 99)
+	rng := rand.New(rand.NewSource(4))
+	var sim17, sim50 float64
+	const trials = 60
+	for i := 0; i < trials; i++ {
+		z := vec.RandUnit(rng, latentDim)
+		zNear := vec.Normalized(vec.Add(z, vec.Scale(0.1, vec.RandUnit(rng, latentDim))))
+		sim17 += float64(vec.Dot(r17.Encode(z), r17.Encode(zNear)))
+		sim50 += float64(vec.Dot(r50.Encode(z), r50.Encode(zNear)))
+	}
+	if sim50 <= sim17 {
+		t.Errorf("ResNet50 mean similarity %v should exceed ResNet17 %v", sim50/trials, sim17/trials)
+	}
+}
+
+func TestMultiEncoderSharesTargetSpace(t *testing.T) {
+	const latentDim = 24
+	target := NewResNet50(latentDim, 11)
+	clip := NewCLIP(target, 11)
+	if clip.Dim() != target.Dim() {
+		t.Fatalf("CLIP dim %d != target dim %d", clip.Dim(), target.Dim())
+	}
+	rng := rand.New(rand.NewSource(5))
+	z := vec.RandUnit(rng, latentDim)
+	// The composition encoder embeds the same latent into a vector highly
+	// correlated with the target encoder's embedding — the paper's shared
+	// vector-space requirement — but with extra modality-gap noise.
+	var sim float64
+	const trials = 40
+	for i := 0; i < trials; i++ {
+		z := vec.RandUnit(rng, latentDim)
+		sim += float64(vec.Dot(clip.EncodeComposed(z), target.Encode(z)))
+	}
+	sim /= trials
+	if sim < 0.3 {
+		t.Errorf("CLIP and target embeddings nearly uncorrelated (mean IP %v); not a shared space", sim)
+	}
+	_ = z
+}
+
+func TestCompositionEncoderOrdering(t *testing.T) {
+	const latentDim = 24
+	target := NewResNet50(latentDim, 13)
+	clip := NewCLIP(target, 13)
+	tirg := NewTIRG(target, 13)
+	mpc := NewMPC(target, 13)
+	rng := rand.New(rand.NewSource(6))
+	meanSim := func(m *MultiSim) float64 {
+		var s float64
+		const trials = 60
+		for i := 0; i < trials; i++ {
+			z := vec.RandUnit(rng, latentDim)
+			s += float64(vec.Dot(m.EncodeComposed(z), target.Encode(z)))
+		}
+		return s / trials
+	}
+	sClip, sTirg, sMpc := meanSim(clip), meanSim(tirg), meanSim(mpc)
+	if !(sClip > sTirg && sTirg > sMpc) {
+		t.Errorf("composition quality ordering violated: CLIP=%v TIRG=%v MPC=%v", sClip, sTirg, sMpc)
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	r := NewRegistry()
+	e := NewLSTM(8, 1)
+	if err := r.Register(e); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register(NewLSTM(8, 2)); err == nil {
+		t.Error("duplicate Register did not error")
+	}
+	got, err := r.Lookup("LSTM")
+	if err != nil || got != e {
+		t.Errorf("Lookup = %v, %v", got, err)
+	}
+	if _, err := r.Lookup("nope"); err == nil {
+		t.Error("Lookup of unknown encoder did not error")
+	}
+
+	m := NewCLIP(NewResNet50(8, 1), 1)
+	if err := r.RegisterMulti(m); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.RegisterMulti(NewCLIP(NewResNet50(8, 2), 2)); err == nil {
+		t.Error("duplicate RegisterMulti did not error")
+	}
+	gm, err := r.LookupMulti("CLIP")
+	if err != nil || gm != m {
+		t.Errorf("LookupMulti = %v, %v", gm, err)
+	}
+	if _, err := r.LookupMulti("nope"); err == nil {
+		t.Error("LookupMulti of unknown encoder did not error")
+	}
+	if n := r.Names(); len(n) != 1 || n[0] != "LSTM" {
+		t.Errorf("Names = %v", n)
+	}
+}
+
+func TestEncodeDimMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Encode with wrong latent dim did not panic")
+		}
+	}()
+	NewLSTM(8, 1).Encode(make([]float32, 9))
+}

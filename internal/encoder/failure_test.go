@@ -1,0 +1,53 @@
+package encoder
+
+import (
+	"math/rand"
+	"testing"
+
+	"must/internal/vec"
+)
+
+// The composition-failure mixture must be deterministic per content and
+// hit close to its configured rate across contents.
+func TestCompositionFailureRate(t *testing.T) {
+	const latentDim = 24
+	target := New(Spec{Name: "base", LatentDim: latentDim, Dim: 32, Sigma: 0.1, Seed: 1})
+	m := NewMulti(MultiSpec{Name: "failing", GapSigma: 0.1, FailProb: 0.5, FailSigma: 3.0, Seed: 2}, target)
+	rng := rand.New(rand.NewSource(3))
+	failures := 0
+	const trials = 400
+	for i := 0; i < trials; i++ {
+		z := vec.RandUnit(rng, latentDim)
+		out := m.EncodeComposed(z)
+		// A failed composition has near-zero similarity to the clean
+		// projection; a good one stays high (sigma 0.14 → ~0.99).
+		clean := target.Encode(z)
+		if vec.Dot(out, clean) < 0.5 {
+			failures++
+		}
+		// Determinism: the same content fails (or not) identically.
+		out2 := m.EncodeComposed(z)
+		for j := range out {
+			if out[j] != out2[j] {
+				t.Fatal("composition failure not deterministic per content")
+			}
+		}
+	}
+	rate := float64(failures) / trials
+	if rate < 0.35 || rate > 0.65 {
+		t.Errorf("observed failure rate %v, configured 0.5", rate)
+	}
+}
+
+func TestZeroFailProbNeverFails(t *testing.T) {
+	const latentDim = 16
+	target := New(Spec{Name: "base", LatentDim: latentDim, Dim: 24, Sigma: 0.05, Seed: 4})
+	m := NewMulti(MultiSpec{Name: "clean", GapSigma: 0.05, Seed: 5}, target)
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < 100; i++ {
+		z := vec.RandUnit(rng, latentDim)
+		if vec.Dot(m.EncodeComposed(z), target.Encode(z)) < 0.9 {
+			t.Fatal("composition failed with FailProb=0")
+		}
+	}
+}

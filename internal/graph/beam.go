@@ -1,0 +1,76 @@
+package graph
+
+import "sort"
+
+// beamSearchVertex runs a greedy beam search over adj from start toward
+// the stored vertex target, returning the visited vertices in visit order.
+// It is the build-time routing primitive used by NSG-style candidate
+// acquisition and Vamana's construction passes. beam is the working-set
+// size (NSG's L / Vamana's L).
+func beamSearchVertex(s *Space, adj [][]int32, start, target int32, beam int) []int32 {
+	return beamSearchVector(s, adj, start, s.Vector(target), beam)
+}
+
+// beamSearchVector is beamSearchVertex for an arbitrary query vector of
+// the space's dimension.
+func beamSearchVector(s *Space, adj [][]int32, start int32, query []float32, beam int) []int32 {
+	if beam < 1 {
+		beam = 1
+	}
+	type entry struct {
+		id      int32
+		ip      float32
+		visited bool
+	}
+	// pool is the candidate beam kept sorted by descending IP.
+	pool := make([]entry, 0, beam+1)
+	seen := map[int32]struct{}{start: {}}
+	pool = append(pool, entry{start, s.IPTo(start, query), false})
+	visitOrder := make([]int32, 0, beam*2)
+
+	insert := func(id int32, ip float32) {
+		if len(pool) == beam && ip <= pool[len(pool)-1].ip {
+			return
+		}
+		pos := sort.Search(len(pool), func(i int) bool { return pool[i].ip < ip })
+		if len(pool) < beam {
+			pool = append(pool, entry{})
+		} else {
+			pos = min(pos, beam-1)
+		}
+		copy(pool[pos+1:], pool[pos:])
+		pool[pos] = entry{id, ip, false}
+	}
+
+	for {
+		// Find the best unvisited entry.
+		idx := -1
+		for i := range pool {
+			if !pool[i].visited {
+				idx = i
+				break
+			}
+		}
+		if idx == -1 {
+			break
+		}
+		pool[idx].visited = true
+		v := pool[idx].id
+		visitOrder = append(visitOrder, v)
+		for _, u := range adj[v] {
+			if _, ok := seen[u]; ok {
+				continue
+			}
+			seen[u] = struct{}{}
+			insert(u, s.IPTo(u, query))
+		}
+	}
+	return visitOrder
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,89 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+
+	"must/internal/vec"
+)
+
+func TestBeamSearchVectorFindsNearest(t *testing.T) {
+	s := testSpace(600, 16, 6, 21)
+	g, err := Ours(16, 3, 22).Build(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(23))
+	hits := 0
+	const trials = 30
+	for i := 0; i < trials; i++ {
+		// Data-like queries: perturbations of stored vectors, the regime
+		// proximity graphs are built for.
+		q := vec.AddGaussianNoise(rng, s.Vector(int32(rng.Intn(s.Len()))), 0.3)
+		// Exact nearest vertex.
+		best := int32(0)
+		bestIP := s.IPTo(0, q)
+		for v := 1; v < s.Len(); v++ {
+			if ip := s.IPTo(int32(v), q); ip > bestIP {
+				bestIP = ip
+				best = int32(v)
+			}
+		}
+		visited := beamSearchVector(s, g.Adj, g.Seed, q, 40)
+		for _, u := range visited {
+			if u == best {
+				hits++
+				break
+			}
+		}
+	}
+	if hits < trials*8/10 {
+		t.Errorf("beam search found the exact nearest vertex in %d/%d trials", hits, trials)
+	}
+}
+
+func TestBeamSearchVisitOrderStartsAtSeed(t *testing.T) {
+	s := testSpace(100, 8, 2, 24)
+	g, err := Ours(8, 2, 25).Build(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	visited := beamSearchVertex(s, g.Adj, g.Seed, 3, 10)
+	if len(visited) == 0 || visited[0] != g.Seed {
+		t.Errorf("visit order must start at the seed, got %v", visited)
+	}
+	// No duplicates in visit order.
+	seen := map[int32]bool{}
+	for _, v := range visited {
+		if seen[v] {
+			t.Fatalf("vertex %d visited twice", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestBeamSearchDegenerateBeam(t *testing.T) {
+	s := testSpace(50, 8, 2, 26)
+	g, err := Ours(6, 2, 27).Build(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// beam < 1 is clamped to 1: pure greedy descent, still terminates.
+	visited := beamSearchVertex(s, g.Adj, g.Seed, 7, 0)
+	if len(visited) == 0 {
+		t.Fatal("greedy descent visited nothing")
+	}
+}
+
+func TestBeamSearchWiderBeamVisitsMore(t *testing.T) {
+	s := testSpace(400, 12, 4, 28)
+	g, err := Ours(12, 3, 29).Build(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	narrow := beamSearchVertex(s, g.Adj, g.Seed, 5, 4)
+	wide := beamSearchVertex(s, g.Adj, g.Seed, 5, 64)
+	if len(wide) <= len(narrow) {
+		t.Errorf("wider beam visited %d vertices, narrow visited %d", len(wide), len(narrow))
+	}
+}

@@ -1,0 +1,548 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// The five fine-grained components of the index-construction pipeline
+// (Algorithm 1, §VII-A). Any proximity graph decomposable into these
+// components can be re-assembled on the pipeline; the paper's "Ours" index
+// is NNDescent initialization + neighbors-of-neighbors candidates + MRNG
+// selection + centroid seed + BFS connectivity.
+
+// Initializer builds the initial neighbor lists (component ①).
+type Initializer interface {
+	// Init returns an initial adjacency with at most gamma neighbors per
+	// vertex.
+	Init(s *Space, gamma int) [][]int32
+	// InitName labels the component in reports.
+	InitName() string
+}
+
+// CandidateAcquirer produces candidate final neighbors per vertex from the
+// initial graph (component ②).
+type CandidateAcquirer interface {
+	// Candidates returns candidate neighbor IDs for vertex v, excluding v
+	// itself. The returned slice may be in any order and may contain no
+	// duplicates.
+	Candidates(s *Space, adj [][]int32, v int32, scratch *candScratch) []int32
+	// CandidateName labels the component in reports.
+	CandidateName() string
+}
+
+// Selector filters candidates into the final neighbor list (component ③).
+type Selector interface {
+	// Select returns the final neighbors of v, at most gamma of them,
+	// chosen from cands.
+	Select(s *Space, v int32, cands []int32, gamma int) []int32
+	// SelectName labels the component in reports.
+	SelectName() string
+}
+
+// SeedStrategy chooses the fixed search entry point (component ④).
+type SeedStrategy interface {
+	Seed(s *Space, rng *rand.Rand) int32
+	SeedName() string
+}
+
+// Connectivity post-processes the graph so every vertex is reachable from
+// the seed (component ⑤).
+type Connectivity interface {
+	// Ensure may add edges to adj in place.
+	Ensure(s *Space, adj [][]int32, seed int32)
+	// ConnectName labels the component in reports.
+	ConnectName() string
+}
+
+// ---------------------------------------------------------------------------
+// Component ①: initialization.
+
+// NNDescent iteratively refines random neighbor lists by joining
+// neighbors-of-neighbors (Algorithm 1, lines 2–8), augmented with the
+// classic reverse-edge join that NNDescent uses to accelerate convergence.
+// Iters is the ε of the paper (default 3, Tab. XI).
+type NNDescent struct {
+	// Iters is the maximum number of refinement iterations ε.
+	Iters int
+	// Seed drives the random initial lists.
+	Seed int64
+}
+
+// InitName implements Initializer.
+func (d NNDescent) InitName() string { return "NNDescent" }
+
+// Init implements Initializer.
+func (d NNDescent) Init(s *Space, gamma int) [][]int32 {
+	n := s.Len()
+	iters := d.Iters
+	if iters <= 0 {
+		iters = 3
+	}
+	lists := make([]*neighborList, n)
+	rng := rand.New(rand.NewSource(d.Seed))
+	for v := 0; v < n; v++ {
+		l := newNeighborList(gamma)
+		for len(l.ids) < gamma && len(l.ids) < n-1 {
+			u := int32(rng.Intn(n))
+			if u == int32(v) {
+				continue
+			}
+			l.insert(u, s.IP(int32(v), u))
+		}
+		lists[v] = l
+	}
+
+	for iter := 0; iter < iters; iter++ {
+		// Snapshot the current lists so the forward join is deterministic
+		// under parallelism: every worker reads the snapshot and writes
+		// only its own vertex's list.
+		snapshot := make([][]int32, n)
+		for v := range lists {
+			snapshot[v] = append([]int32(nil), lists[v].ids...)
+		}
+		var changed int64
+		parallelVertices(n, func(v int) {
+			l := lists[v]
+			for _, nb := range snapshot[v] {
+				for _, u := range snapshot[nb] {
+					if u == int32(v) {
+						continue
+					}
+					if l.full() {
+						// Cheap pre-check before the IP: the insert will
+						// reject anything at or below the worst entry.
+						ip := s.IP(int32(v), u)
+						if ip <= l.worstIP() {
+							continue
+						}
+						if l.insert(u, ip) {
+							atomic.AddInt64(&changed, 1)
+						}
+						continue
+					}
+					if l.insert(u, s.IP(int32(v), u)) {
+						atomic.AddInt64(&changed, 1)
+					}
+				}
+			}
+		})
+		// Reverse join: offer each directed edge's source to its target.
+		// Built single-threaded (cheap), applied per owner in parallel.
+		rev := make([][]int32, n)
+		for v := 0; v < n; v++ {
+			for _, u := range lists[v].ids {
+				rev[u] = append(rev[u], int32(v))
+			}
+		}
+		parallelVertices(n, func(v int) {
+			l := lists[v]
+			for _, u := range rev[v] {
+				if u == int32(v) {
+					continue
+				}
+				if l.full() {
+					ip := s.IP(int32(v), u)
+					if ip <= l.worstIP() {
+						continue
+					}
+					if l.insert(u, ip) {
+						atomic.AddInt64(&changed, 1)
+					}
+					continue
+				}
+				if l.insert(u, s.IP(int32(v), u)) {
+					atomic.AddInt64(&changed, 1)
+				}
+			}
+		})
+		if changed == 0 {
+			break
+		}
+	}
+
+	adj := make([][]int32, n)
+	for v := range lists {
+		adj[v] = lists[v].ids
+	}
+	return adj
+}
+
+// RandomInit assigns gamma random neighbors per vertex; the degenerate
+// baseline initializer.
+type RandomInit struct {
+	Seed int64
+}
+
+// InitName implements Initializer.
+func (RandomInit) InitName() string { return "Random" }
+
+// Init implements Initializer.
+func (r RandomInit) Init(s *Space, gamma int) [][]int32 {
+	n := s.Len()
+	rng := rand.New(rand.NewSource(r.Seed))
+	adj := make([][]int32, n)
+	for v := 0; v < n; v++ {
+		l := newNeighborList(gamma)
+		for len(l.ids) < gamma && len(l.ids) < n-1 {
+			u := int32(rng.Intn(n))
+			if u != int32(v) {
+				l.insert(u, s.IP(int32(v), u))
+			}
+		}
+		adj[v] = l.ids
+	}
+	return adj
+}
+
+// ---------------------------------------------------------------------------
+// Component ②: candidate acquisition.
+
+// candScratch holds reusable per-worker buffers for candidate expansion.
+type candScratch struct {
+	seen map[int32]struct{}
+	out  []int32
+}
+
+func newCandScratch() *candScratch {
+	return &candScratch{seen: make(map[int32]struct{}, 1024)}
+}
+
+func (c *candScratch) reset() {
+	for k := range c.seen {
+		delete(c.seen, k)
+	}
+	c.out = c.out[:0]
+}
+
+func (c *candScratch) add(id int32) {
+	if _, ok := c.seen[id]; ok {
+		return
+	}
+	c.seen[id] = struct{}{}
+	c.out = append(c.out, id)
+}
+
+// NeighborsOfNeighbors gathers each vertex's initial neighbors and their
+// neighbors (Algorithm 1, lines 9–10).
+type NeighborsOfNeighbors struct{}
+
+// CandidateName implements CandidateAcquirer.
+func (NeighborsOfNeighbors) CandidateName() string { return "NoN" }
+
+// Candidates implements CandidateAcquirer.
+func (NeighborsOfNeighbors) Candidates(s *Space, adj [][]int32, v int32, scratch *candScratch) []int32 {
+	scratch.reset()
+	for _, nb := range adj[v] {
+		if nb != v {
+			scratch.add(nb)
+		}
+		for _, u := range adj[nb] {
+			if u != v {
+				scratch.add(u)
+			}
+		}
+	}
+	return scratch.out
+}
+
+// SearchCandidates routes a beam search from the seed toward each vertex
+// and uses the visited set as candidates — the NSG-style acquisition.
+type SearchCandidates struct {
+	// Beam is the search beam width (NSG's L); candidates are the visited
+	// vertices of the search.
+	Beam int
+	// SeedVertex is the routing start; Medoid of the space if negative.
+	SeedVertex int32
+}
+
+// CandidateName implements CandidateAcquirer.
+func (SearchCandidates) CandidateName() string { return "Search" }
+
+// Candidates implements CandidateAcquirer.
+func (c SearchCandidates) Candidates(s *Space, adj [][]int32, v int32, scratch *candScratch) []int32 {
+	seed := c.SeedVertex
+	if seed < 0 {
+		seed = 0
+	}
+	visited := beamSearchVertex(s, adj, seed, v, c.Beam)
+	scratch.reset()
+	for _, u := range visited {
+		if u != v {
+			scratch.add(u)
+		}
+	}
+	// Also keep the initial neighbors: the search may not revisit them.
+	for _, u := range adj[v] {
+		if u != v {
+			scratch.add(u)
+		}
+	}
+	return scratch.out
+}
+
+// ---------------------------------------------------------------------------
+// Component ③: neighbor selection.
+
+// MRNG applies the monotonic relative neighborhood rule of Algorithm 1,
+// lines 11–17: a candidate v joins N(o) only if it is closer to o than to
+// every already-selected neighbor (IP(ô,v̂) > IP(û,v̂)), which yields the
+// ≥60° angular spread of Lemma 2.
+type MRNG struct{}
+
+// SelectName implements Selector.
+func (MRNG) SelectName() string { return "MRNG" }
+
+// Select implements Selector.
+func (MRNG) Select(s *Space, v int32, cands []int32, gamma int) []int32 {
+	ordered := sortByIP(s, v, cands)
+	out := make([]int32, 0, gamma)
+	for _, c := range ordered {
+		if len(out) >= gamma {
+			break
+		}
+		ipVC := s.IP(v, c.id)
+		occluded := false
+		for _, u := range out {
+			if s.IP(u, c.id) >= ipVC {
+				occluded = true
+				break
+			}
+		}
+		if !occluded {
+			out = append(out, c.id)
+		}
+	}
+	return out
+}
+
+// TopK keeps the gamma closest candidates with no diversification — the
+// KGraph-style selector.
+type TopK struct{}
+
+// SelectName implements Selector.
+func (TopK) SelectName() string { return "TopK" }
+
+// Select implements Selector.
+func (TopK) Select(s *Space, v int32, cands []int32, gamma int) []int32 {
+	ordered := sortByIP(s, v, cands)
+	if len(ordered) > gamma {
+		ordered = ordered[:gamma]
+	}
+	out := make([]int32, len(ordered))
+	for i, c := range ordered {
+		out[i] = c.id
+	}
+	return out
+}
+
+// AngleSelector keeps a candidate only if the angle it forms at v with
+// every selected neighbor is at least MinCos⁻¹ — the NSSG-style relaxed
+// diversification. MinCos is the cosine of the minimum allowed angle
+// (NSSG's default ~60° → 0.5).
+type AngleSelector struct {
+	MinCos float32
+}
+
+// SelectName implements Selector.
+func (AngleSelector) SelectName() string { return "Angle" }
+
+// Select implements Selector.
+func (a AngleSelector) Select(s *Space, v int32, cands []int32, gamma int) []int32 {
+	minCos := a.MinCos
+	if minCos == 0 {
+		minCos = 0.5
+	}
+	ordered := sortByIP(s, v, cands)
+	self := s.SelfIP()
+	out := make([]int32, 0, gamma)
+	for _, c := range ordered {
+		if len(out) >= gamma {
+			break
+		}
+		dVC := distFromIP(self, c.ip)
+		ok := true
+		for _, u := range out {
+			dVU := distFromIP(self, s.IP(v, u))
+			dUC := distFromIP(self, s.IP(u, c.id))
+			// cos ∠(c, v, u) from the law of cosines on squared
+			// distances: cos = (dVC + dVU − dUC) / (2·√(dVC·dVU)).
+			denom := 2 * sqrt32(dVC*dVU)
+			if denom <= 0 {
+				ok = false
+				break
+			}
+			cos := (dVC + dVU - dUC) / denom
+			if cos > minCos {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, c.id)
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Component ④: seed preprocessing.
+
+// CentroidSeed picks the vertex nearest the dataset centroid (Algorithm 1,
+// line 18).
+type CentroidSeed struct{}
+
+// SeedName implements SeedStrategy.
+func (CentroidSeed) SeedName() string { return "Centroid" }
+
+// Seed implements SeedStrategy.
+func (CentroidSeed) Seed(s *Space, _ *rand.Rand) int32 { return s.Medoid() }
+
+// RandomSeed picks a uniformly random vertex.
+type RandomSeed struct{}
+
+// SeedName implements SeedStrategy.
+func (RandomSeed) SeedName() string { return "Random" }
+
+// Seed implements SeedStrategy.
+func (RandomSeed) Seed(s *Space, rng *rand.Rand) int32 { return int32(rng.Intn(s.Len())) }
+
+// ---------------------------------------------------------------------------
+// Component ⑤: connectivity.
+
+// BFSRepair breadth-first-searches from the seed and, whenever unreached
+// vertices remain, connects the nearest reached vertex to one of them and
+// resumes (Algorithm 1, line 19).
+type BFSRepair struct{}
+
+// ConnectName implements Connectivity.
+func (BFSRepair) ConnectName() string { return "BFS" }
+
+// Ensure implements Connectivity.
+func (BFSRepair) Ensure(s *Space, adj [][]int32, seed int32) {
+	n := len(adj)
+	visited := make([]bool, n)
+	queue := make([]int32, 0, n)
+	push := func(v int32) {
+		visited[v] = true
+		queue = append(queue, v)
+	}
+	push(seed)
+	for head := 0; ; {
+		for head < len(queue) {
+			v := queue[head]
+			head++
+			for _, u := range adj[v] {
+				if !visited[u] {
+					push(u)
+				}
+			}
+		}
+		if len(queue) == n {
+			return
+		}
+		// Pick the first unvisited vertex and bridge to it from its
+		// nearest visited vertex.
+		var orphan int32 = -1
+		for v := 0; v < n; v++ {
+			if !visited[v] {
+				orphan = int32(v)
+				break
+			}
+		}
+		best := seed
+		bestIP := float32(-1 << 30)
+		for _, v := range queue {
+			if ip := s.IP(v, orphan); ip > bestIP {
+				bestIP = ip
+				best = v
+			}
+		}
+		adj[best] = append(adj[best], orphan)
+		push(orphan)
+	}
+}
+
+// NoConnectivity leaves the graph as-is (KGraph has no repair step).
+type NoConnectivity struct{}
+
+// ConnectName implements Connectivity.
+func (NoConnectivity) ConnectName() string { return "None" }
+
+// Ensure implements Connectivity.
+func (NoConnectivity) Ensure(*Space, [][]int32, int32) {}
+
+// ---------------------------------------------------------------------------
+// Shared helpers.
+
+type ipCand struct {
+	id int32
+	ip float32
+}
+
+// sortByIP returns cands with their IPs to v, sorted by descending IP.
+func sortByIP(s *Space, v int32, cands []int32) []ipCand {
+	out := make([]ipCand, 0, len(cands))
+	for _, c := range cands {
+		if c == v {
+			continue
+		}
+		out = append(out, ipCand{c, s.IP(v, c)})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].ip != out[j].ip {
+			return out[i].ip > out[j].ip
+		}
+		return out[i].id < out[j].id // deterministic tie-break
+	})
+	return out
+}
+
+func sqrt32(x float32) float32 {
+	if x <= 0 {
+		return 0
+	}
+	return float32(math.Sqrt(float64(x)))
+}
+
+// parallelVertices runs fn(v) for every vertex across GOMAXPROCS workers,
+// chunked to amortize scheduling.
+func parallelVertices(n int, fn func(v int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for v := 0; v < n; v++ {
+			fn(v)
+		}
+		return
+	}
+	const chunk = 64
+	var next int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				start := int(atomic.AddInt64(&next, chunk)) - chunk
+				if start >= n {
+					return
+				}
+				end := start + chunk
+				if end > n {
+					end = n
+				}
+				for v := start; v < end; v++ {
+					fn(v)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,178 @@
+package graph
+
+import "sort"
+
+// Graph is a directed proximity graph over a Space: Adj[v] lists v's
+// out-neighbors, Seed is the fixed start vertex for searches (component ④).
+type Graph struct {
+	Adj  [][]int32
+	Seed int32
+}
+
+// NumVertices returns the vertex count.
+func (g *Graph) NumVertices() int { return len(g.Adj) }
+
+// NumEdges returns the total directed edge count.
+func (g *Graph) NumEdges() int {
+	total := 0
+	for _, n := range g.Adj {
+		total += len(n)
+	}
+	return total
+}
+
+// AvgDegree returns the mean out-degree.
+func (g *Graph) AvgDegree() float64 {
+	if len(g.Adj) == 0 {
+		return 0
+	}
+	return float64(g.NumEdges()) / float64(len(g.Adj))
+}
+
+// MaxDegree returns the maximum out-degree.
+func (g *Graph) MaxDegree() int {
+	m := 0
+	for _, n := range g.Adj {
+		if len(n) > m {
+			m = len(n)
+		}
+	}
+	return m
+}
+
+// SizeBytes estimates the in-memory index size: 4 bytes per edge plus the
+// per-vertex slice headers. Used by the Fig. 7 / Fig. 14 index-size
+// reports.
+func (g *Graph) SizeBytes() int64 {
+	return int64(g.NumEdges())*4 + int64(len(g.Adj))*24 + 8
+}
+
+// Reachable returns how many vertices BFS reaches from the seed.
+func (g *Graph) Reachable() int {
+	if len(g.Adj) == 0 {
+		return 0
+	}
+	visited := make([]bool, len(g.Adj))
+	queue := []int32{g.Seed}
+	visited[g.Seed] = true
+	count := 1
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, u := range g.Adj[v] {
+			if !visited[u] {
+				visited[u] = true
+				count++
+				queue = append(queue, u)
+			}
+		}
+	}
+	return count
+}
+
+// Quality measures graph quality as defined in Appendix H: the mean
+// fraction of each vertex's top-γ exact nearest neighbors (by the space's
+// IP) present in its adjacency list. To keep it affordable it samples
+// `sample` vertices deterministically (stride sampling); sample ≤ 0 means
+// every vertex.
+func Quality(g *Graph, s *Space, gamma, sample int) float64 {
+	n := s.Len()
+	if n <= 1 {
+		return 1
+	}
+	stride := 1
+	if sample > 0 && sample < n {
+		stride = n / sample
+	}
+	type cand struct {
+		id int32
+		ip float32
+	}
+	var total float64
+	var counted int
+	for v := 0; v < n; v += stride {
+		// Exact top-γ for vertex v.
+		cands := make([]cand, 0, n-1)
+		for u := 0; u < n; u++ {
+			if u == v {
+				continue
+			}
+			cands = append(cands, cand{int32(u), s.IP(int32(v), int32(u))})
+		}
+		k := gamma
+		if k > len(cands) {
+			k = len(cands)
+		}
+		sort.Slice(cands, func(i, j int) bool { return cands[i].ip > cands[j].ip })
+		truth := make(map[int32]struct{}, k)
+		for _, c := range cands[:k] {
+			truth[c.id] = struct{}{}
+		}
+		hits := 0
+		for _, u := range g.Adj[v] {
+			if _, ok := truth[u]; ok {
+				hits++
+			}
+		}
+		total += float64(hits) / float64(k)
+		counted++
+	}
+	return total / float64(counted)
+}
+
+// neighborList is a fixed-capacity list of (id, ip) pairs kept sorted by
+// descending IP, used by NNDescent and the selection components.
+type neighborList struct {
+	ids []int32
+	ips []float32
+	cap int
+}
+
+func newNeighborList(capacity int) *neighborList {
+	return &neighborList{
+		ids: make([]int32, 0, capacity),
+		ips: make([]float32, 0, capacity),
+		cap: capacity,
+	}
+}
+
+// insert adds (id, ip) if the list has room or ip beats the current worst,
+// keeping the list sorted and duplicate-free. It reports whether the list
+// changed.
+func (l *neighborList) insert(id int32, ip float32) bool {
+	if len(l.ids) == l.cap && ip <= l.ips[len(l.ips)-1] {
+		return false
+	}
+	// Reject duplicates.
+	for _, existing := range l.ids {
+		if existing == id {
+			return false
+		}
+	}
+	// Find insertion point (descending ips).
+	pos := sort.Search(len(l.ips), func(i int) bool { return l.ips[i] < ip })
+	if len(l.ids) < l.cap {
+		l.ids = append(l.ids, 0)
+		l.ips = append(l.ips, 0)
+	} else {
+		pos = min(pos, l.cap-1)
+	}
+	copy(l.ids[pos+1:], l.ids[pos:])
+	copy(l.ips[pos+1:], l.ips[pos:])
+	l.ids[pos] = id
+	l.ips[pos] = ip
+	return true
+}
+
+func (l *neighborList) worstIP() float32 {
+	if len(l.ips) == 0 {
+		return float32(-1 << 30)
+	}
+	return l.ips[len(l.ips)-1]
+}
+
+func (l *neighborList) full() bool { return len(l.ids) == l.cap }
+
+// distFromIP converts an inner product into a squared Euclidean distance
+// using the space's constant self-IP: ||a-b||² = 2·(selfIP − IP(a,b)).
+func distFromIP(selfIP, ip float32) float32 { return 2 * (selfIP - ip) }

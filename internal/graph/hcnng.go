@@ -1,0 +1,151 @@
+package graph
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// HCNNGConfig parameterizes the hierarchical-clustering builder (Muñoz et
+// al., one of the §VIII-G competitors): several rounds of random divisive
+// clustering, an exact minimum spanning tree inside each leaf cluster, and
+// a union of the per-round MST edges.
+type HCNNGConfig struct {
+	// Rounds is the number of clustering rounds (HCNNG's number of
+	// trees); more rounds add more edges.
+	Rounds int
+	// LeafSize is the maximum cluster size at which an MST is built.
+	LeafSize int
+	// MaxDegree caps the final out-degree, keeping the closest edges.
+	MaxDegree int
+	// Seed drives the random pivots.
+	Seed int64
+}
+
+// BuildHCNNG constructs an HCNNG graph over the space.
+func BuildHCNNG(s *Space, cfg HCNNGConfig) *Graph {
+	n := s.Len()
+	rounds := cfg.Rounds
+	if rounds <= 0 {
+		rounds = 3
+	}
+	leaf := cfg.LeafSize
+	if leaf <= 0 {
+		leaf = 200
+	}
+	if leaf < 3 {
+		leaf = 3
+	}
+	maxDeg := cfg.MaxDegree
+	if maxDeg <= 0 {
+		maxDeg = 40
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	edges := make([]map[int32]struct{}, n)
+	for i := range edges {
+		edges[i] = make(map[int32]struct{})
+	}
+	addEdge := func(a, b int32) {
+		edges[a][b] = struct{}{}
+		edges[b][a] = struct{}{}
+	}
+
+	// mst builds an exact Prim MST over the members (undirected edges).
+	mst := func(members []int32) {
+		k := len(members)
+		if k < 2 {
+			return
+		}
+		inTree := make([]bool, k)
+		bestIP := make([]float32, k)
+		bestFrom := make([]int, k)
+		for i := range bestIP {
+			bestIP[i] = float32(-1 << 30)
+		}
+		inTree[0] = true
+		for i := 1; i < k; i++ {
+			bestIP[i] = s.IP(members[0], members[i])
+			bestFrom[i] = 0
+		}
+		for added := 1; added < k; added++ {
+			next := -1
+			for i := 1; i < k; i++ {
+				if !inTree[i] && (next == -1 || bestIP[i] > bestIP[next]) {
+					next = i
+				}
+			}
+			inTree[next] = true
+			addEdge(members[bestFrom[next]], members[next])
+			for i := 1; i < k; i++ {
+				if !inTree[i] {
+					if ip := s.IP(members[next], members[i]); ip > bestIP[i] {
+						bestIP[i] = ip
+						bestFrom[i] = next
+					}
+				}
+			}
+		}
+	}
+
+	// split recursively partitions members with two random pivots until
+	// clusters are leaf-sized, then MSTs them.
+	var split func(members []int32)
+	split = func(members []int32) {
+		if len(members) <= leaf {
+			mst(members)
+			return
+		}
+		a := members[rng.Intn(len(members))]
+		b := a
+		for b == a {
+			b = members[rng.Intn(len(members))]
+		}
+		var left, right []int32
+		for _, v := range members {
+			if s.IP(v, a) >= s.IP(v, b) {
+				left = append(left, v)
+			} else {
+				right = append(right, v)
+			}
+		}
+		// Degenerate splits can happen with duplicate vectors; fall back
+		// to a halving split to guarantee termination.
+		if len(left) == 0 || len(right) == 0 {
+			mid := len(members) / 2
+			left, right = members[:mid], members[mid:]
+		}
+		split(left)
+		split(right)
+	}
+
+	all := make([]int32, n)
+	for i := range all {
+		all[i] = int32(i)
+	}
+	for r := 0; r < rounds; r++ {
+		split(all)
+	}
+
+	adj := make([][]int32, n)
+	for v := 0; v < n; v++ {
+		lst := make([]int32, 0, len(edges[v]))
+		for u := range edges[v] {
+			lst = append(lst, u)
+		}
+		// Keep the closest MaxDegree neighbors, deterministically.
+		sort.Slice(lst, func(i, j int) bool {
+			ipI, ipJ := s.IP(int32(v), lst[i]), s.IP(int32(v), lst[j])
+			if ipI != ipJ {
+				return ipI > ipJ
+			}
+			return lst[i] < lst[j]
+		})
+		if len(lst) > maxDeg {
+			lst = lst[:maxDeg]
+		}
+		adj[v] = lst
+	}
+	g := &Graph{Adj: adj, Seed: s.Medoid()}
+	BFSRepair{}.Ensure(s, g.Adj, g.Seed)
+	return g
+}

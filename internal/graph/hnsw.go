@@ -1,0 +1,207 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// HNSWConfig parameterizes the Hierarchical Navigable Small World builder
+// (Malkov & Yashunin, one of the §VIII-G competitors).
+type HNSWConfig struct {
+	// M is the per-layer degree bound; layer 0 allows 2M.
+	M int
+	// EfConstruction is the construction beam width.
+	EfConstruction int
+	// Seed drives level assignment.
+	Seed int64
+}
+
+// BuildHNSW constructs an HNSW over the space and flattens it into the
+// common Graph form: the layer-0 adjacency plus the top-layer entry point
+// chain collapsed into the seed. The flattened graph is what MUST's joint
+// search routes over, mirroring how the paper plugs competitor graphs into
+// its search (§VIII-G).
+func BuildHNSW(s *Space, cfg HNSWConfig) *Graph {
+	n := s.Len()
+	m := cfg.M
+	if m <= 0 {
+		m = 16
+	}
+	ef := cfg.EfConstruction
+	if ef <= 0 {
+		ef = 100
+	}
+	maxM0 := 2 * m
+	ml := 1 / math.Log(float64(m))
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// layers[l][v] is v's adjacency at layer l; vertices exist at layers
+	// 0..level[v].
+	level := make([]int, n)
+	maxLevel := 0
+	for v := 0; v < n; v++ {
+		l := int(-math.Log(rng.Float64()+1e-12) * ml)
+		level[v] = l
+		if l > maxLevel {
+			maxLevel = l
+		}
+	}
+	layers := make([]map[int32][]int32, maxLevel+1)
+	for l := range layers {
+		layers[l] = make(map[int32][]int32)
+	}
+
+	enter := int32(0)
+	enterLevel := level[0]
+	for l := 0; l <= level[0]; l++ {
+		layers[l][0] = nil
+	}
+
+	// selectNeighbors is HNSW's heuristic: a cheap MRNG-style occlusion.
+	selectNeighbors := func(v int32, cands []int32, limit int) []int32 {
+		ordered := sortByIP(s, v, cands)
+		out := make([]int32, 0, limit)
+		for _, c := range ordered {
+			if len(out) >= limit {
+				break
+			}
+			ok := true
+			for _, u := range out {
+				if s.IP(u, c.id) >= c.ip {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				out = append(out, c.id)
+			}
+		}
+		// HNSW keeps discarded candidates if the list is underfull.
+		if len(out) < limit {
+			present := make(map[int32]struct{}, len(out))
+			for _, u := range out {
+				present[u] = struct{}{}
+			}
+			for _, c := range ordered {
+				if len(out) >= limit {
+					break
+				}
+				if _, ok := present[c.id]; !ok {
+					out = append(out, c.id)
+					present[c.id] = struct{}{}
+				}
+			}
+		}
+		return out
+	}
+
+	searchLayer := func(query int32, entry int32, width int, l int) []int32 {
+		adj := layers[l]
+		type entryT struct {
+			id      int32
+			ip      float32
+			visited bool
+		}
+		pool := []entryT{{entry, s.IP(entry, query), false}}
+		seen := map[int32]struct{}{entry: {}}
+		insert := func(id int32, ip float32) {
+			if len(pool) == width && ip <= pool[len(pool)-1].ip {
+				return
+			}
+			pos := sort.Search(len(pool), func(i int) bool { return pool[i].ip < ip })
+			if len(pool) < width {
+				pool = append(pool, entryT{})
+			} else {
+				pos = min(pos, width-1)
+			}
+			copy(pool[pos+1:], pool[pos:])
+			pool[pos] = entryT{id, ip, false}
+		}
+		for {
+			idx := -1
+			for i := range pool {
+				if !pool[i].visited {
+					idx = i
+					break
+				}
+			}
+			if idx == -1 {
+				break
+			}
+			pool[idx].visited = true
+			for _, u := range adj[pool[idx].id] {
+				if _, ok := seen[u]; ok {
+					continue
+				}
+				seen[u] = struct{}{}
+				insert(u, s.IP(u, query))
+			}
+		}
+		out := make([]int32, len(pool))
+		for i, e := range pool {
+			out[i] = e.id
+		}
+		return out
+	}
+
+	for v := 1; v < n; v++ {
+		vid := int32(v)
+		lv := level[v]
+		cur := enter
+		// Greedy descent through layers above lv.
+		for l := enterLevel; l > lv; l-- {
+			improved := true
+			for improved {
+				improved = false
+				best := s.IP(cur, vid)
+				for _, u := range layers[l][cur] {
+					if ip := s.IP(u, vid); ip > best {
+						best = ip
+						cur = u
+						improved = true
+					}
+				}
+			}
+		}
+		// Insert at layers min(lv, enterLevel)..0.
+		top := lv
+		if top > enterLevel {
+			top = enterLevel
+		}
+		for l := top; l >= 0; l-- {
+			cands := searchLayer(vid, cur, ef, l)
+			limit := m
+			if l == 0 {
+				limit = maxM0
+			}
+			neighbors := selectNeighbors(vid, cands, m)
+			layers[l][vid] = neighbors
+			for _, u := range neighbors {
+				lst := append(layers[l][u], vid)
+				if len(lst) > limit {
+					lst = selectNeighbors(u, lst, limit)
+				}
+				layers[l][u] = lst
+			}
+			if len(cands) > 0 {
+				cur = cands[0]
+			}
+		}
+		// Register empty adjacency on the extra layers this vertex owns
+		// and possibly promote it to the new entry point.
+		if lv > enterLevel {
+			for l := enterLevel + 1; l <= lv; l++ {
+				layers[l][vid] = nil
+			}
+			enter = vid
+			enterLevel = lv
+		}
+	}
+
+	adj := make([][]int32, n)
+	for v := 0; v < n; v++ {
+		adj[v] = layers[0][int32(v)]
+	}
+	return &Graph{Adj: adj, Seed: enter}
+}

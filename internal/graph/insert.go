@@ -1,0 +1,61 @@
+package graph
+
+// Incremental insertion (§IX of the paper): "upon the arrival of a new
+// object, its embedding vector can be used to search for neighbors in the
+// index, updating them accordingly" — the HNSW/Vamana-style dynamic
+// update. The new vertex beam-searches for its neighborhood, links via
+// MRNG selection, and adds degree-capped reverse edges.
+
+// Append adds a vector to the space and returns its new index. The vector
+// must have the space's dimension and the same self-inner-product as the
+// rest of the space (a weighted concatenation of unit vectors).
+func (s *Space) Append(v []float32) int32 {
+	if len(v) != s.Dim() {
+		panic("graph: Append dimension mismatch")
+	}
+	s.data = append(s.data, v)
+	return int32(len(s.data) - 1)
+}
+
+// Insert links an already-appended vertex id into the graph: it routes a
+// beam search toward the vertex from the seed, selects up to gamma diverse
+// neighbors with the MRNG rule, and installs reverse edges capped at
+// gamma (re-selected when they overflow). It returns the vertex id.
+func Insert(s *Space, g *Graph, id int32, gamma, beam int) int32 {
+	if beam < gamma {
+		beam = gamma
+	}
+	// Grow the adjacency table up to the space size (supports callers
+	// that appended several vectors before linking).
+	for len(g.Adj) < s.Len() {
+		g.Adj = append(g.Adj, nil)
+	}
+	visited := beamSearchVector(s, g.Adj, g.Seed, s.Vector(id), beam)
+	cands := make([]int32, 0, len(visited))
+	for _, u := range visited {
+		if u != id {
+			cands = append(cands, u)
+		}
+	}
+	neighbors := MRNG{}.Select(s, id, cands, gamma)
+	g.Adj[id] = neighbors
+	for _, u := range neighbors {
+		lst := g.Adj[u]
+		present := false
+		for _, w := range lst {
+			if w == id {
+				present = true
+				break
+			}
+		}
+		if present {
+			continue
+		}
+		lst = append(lst, id)
+		if len(lst) > gamma {
+			lst = MRNG{}.Select(s, u, lst, gamma)
+		}
+		g.Adj[u] = lst
+	}
+	return id
+}

@@ -1,0 +1,115 @@
+// Package graph implements the proximity-graph substrate of the MUST
+// reproduction: the component-based index-construction pipeline of
+// Algorithm 1 (§VII-A) and the comparison graph algorithms of §VIII-G
+// (KGraph, NSG, NSSG, HNSW, Vamana, HCNNG), all operating on a common
+// vector Space so they can be built over fused concatenated vectors (MUST)
+// or single-modality vectors (MR).
+package graph
+
+import (
+	"fmt"
+
+	"must/internal/vec"
+)
+
+// Space is the set of vectors a graph is built over. For the fused index
+// the vectors are weighted concatenations [ω_0·ϕ_0(o_0), ...] (§VI); for a
+// per-modality index they are that modality's vectors. Similarity is the
+// inner product.
+//
+// All vectors in a Space must have the same self-inner-product (true for
+// weighted concatenations of unit vectors, where IP(ô,ô) = Σω_i²); several
+// components rely on this to convert between IPs, distances and angles.
+type Space struct {
+	data   [][]float32
+	selfIP float32
+}
+
+// NewSpace wraps the given vectors. It panics if vectors is empty or
+// dimensions are inconsistent, which would indicate a bug in the caller.
+func NewSpace(vectors [][]float32) *Space {
+	if len(vectors) == 0 {
+		panic("graph: empty space")
+	}
+	d := len(vectors[0])
+	for i, v := range vectors {
+		if len(v) != d {
+			panic(fmt.Sprintf("graph: vector %d has dim %d, want %d", i, len(v), d))
+		}
+	}
+	return &Space{data: vectors, selfIP: vec.Dot(vectors[0], vectors[0])}
+}
+
+// NewFusedSpace builds the fused space over multi-vector objects under the
+// given weights: each object becomes its weighted concatenation.
+func NewFusedSpace(objects []vec.Multi, w vec.Weights) *Space {
+	data := make([][]float32, len(objects))
+	for i, o := range objects {
+		data[i] = vec.WeightedConcat(w, o)
+	}
+	return NewSpace(data)
+}
+
+// NewModalitySpace builds a single-modality space over multi-vector
+// objects, as MR's per-modality indexes require.
+func NewModalitySpace(objects []vec.Multi, modality int) *Space {
+	data := make([][]float32, len(objects))
+	for i, o := range objects {
+		data[i] = o[modality]
+	}
+	return NewSpace(data)
+}
+
+// Len returns the number of vectors.
+func (s *Space) Len() int { return len(s.data) }
+
+// Dim returns the vector dimension.
+func (s *Space) Dim() int { return len(s.data[0]) }
+
+// IP returns the inner product between stored vectors i and j.
+func (s *Space) IP(i, j int32) float32 {
+	return vec.Dot(s.data[i], s.data[j])
+}
+
+// IPTo returns the inner product between stored vector i and an external
+// query vector q of the same dimension.
+func (s *Space) IPTo(i int32, q []float32) float32 {
+	return vec.Dot(s.data[i], q)
+}
+
+// Vector returns the stored vector i (shared, not copied).
+func (s *Space) Vector(i int32) []float32 { return s.data[i] }
+
+// SelfIP returns IP(v, v), identical for every vector in the space.
+func (s *Space) SelfIP() float32 { return s.selfIP }
+
+// Centroid returns the (unnormalized) mean of all vectors, used by the
+// seed-preprocessing component (④).
+func (s *Space) Centroid() []float32 {
+	c := make([]float32, s.Dim())
+	for _, v := range s.data {
+		for i, x := range v {
+			c[i] += x
+		}
+	}
+	inv := 1 / float32(s.Len())
+	for i := range c {
+		c[i] *= inv
+	}
+	return c
+}
+
+// Medoid returns the index of the vector with the highest inner product to
+// the centroid — the fixed seed of component ④ (Algorithm 1, line 18).
+func (s *Space) Medoid() int32 {
+	c := s.Centroid()
+	best := int32(0)
+	bestIP := vec.Dot(s.data[0], c)
+	for i := 1; i < s.Len(); i++ {
+		if ip := vec.Dot(s.data[i], c); ip > bestIP {
+			bestIP = ip
+			best = int32(i)
+		}
+	}
+	return best
+}

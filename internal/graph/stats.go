@@ -1,0 +1,105 @@
+package graph
+
+import "sort"
+
+// Stats summarizes a built graph's structure; cmd/mustbench and tests use
+// it to audit index health (degree spread matters for both search latency
+// tails and memory).
+type Stats struct {
+	// Vertices and Edges are the basic counts.
+	Vertices, Edges int
+	// MinDegree, MaxDegree, AvgDegree describe the out-degree spread.
+	MinDegree, MaxDegree int
+	AvgDegree            float64
+	// MedianDegree and P99Degree are robust spread measures.
+	MedianDegree, P99Degree int
+	// Isolated counts vertices with no out-edges.
+	Isolated int
+	// ReachableFromSeed counts vertices BFS reaches from the seed.
+	ReachableFromSeed int
+	// Components is the number of weakly connected components.
+	Components int
+}
+
+// ComputeStats analyzes g.
+func ComputeStats(g *Graph) Stats {
+	n := len(g.Adj)
+	st := Stats{Vertices: n}
+	if n == 0 {
+		return st
+	}
+	degrees := make([]int, n)
+	st.MinDegree = len(g.Adj[0])
+	for v, nbrs := range g.Adj {
+		d := len(nbrs)
+		degrees[v] = d
+		st.Edges += d
+		if d < st.MinDegree {
+			st.MinDegree = d
+		}
+		if d > st.MaxDegree {
+			st.MaxDegree = d
+		}
+		if d == 0 {
+			st.Isolated++
+		}
+	}
+	st.AvgDegree = float64(st.Edges) / float64(n)
+	sort.Ints(degrees)
+	st.MedianDegree = degrees[n/2]
+	p99 := (n * 99) / 100
+	if p99 >= n {
+		p99 = n - 1
+	}
+	st.P99Degree = degrees[p99]
+	st.ReachableFromSeed = g.Reachable()
+	st.Components = weakComponents(g.Adj)
+	return st
+}
+
+// weakComponents counts weakly connected components via union-find over
+// the undirected view of the adjacency.
+func weakComponents(adj [][]int32) int {
+	n := len(adj)
+	parent := make([]int32, n)
+	for i := range parent {
+		parent[i] = int32(i)
+	}
+	var find func(x int32) int32
+	find = func(x int32) int32 {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]] // path halving
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int32) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	for v, nbrs := range adj {
+		for _, u := range nbrs {
+			union(int32(v), u)
+		}
+	}
+	roots := map[int32]struct{}{}
+	for v := range parent {
+		roots[find(int32(v))] = struct{}{}
+	}
+	return len(roots)
+}
+
+// DegreeHistogram buckets out-degrees into the given bucket width and
+// returns bucket→count, for index-audit reports.
+func DegreeHistogram(g *Graph, bucket int) map[int]int {
+	if bucket <= 0 {
+		bucket = 5
+	}
+	out := map[int]int{}
+	for _, nbrs := range g.Adj {
+		out[(len(nbrs)/bucket)*bucket]++
+	}
+	return out
+}

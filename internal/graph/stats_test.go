@@ -1,0 +1,75 @@
+package graph
+
+import "testing"
+
+func TestComputeStatsHandBuilt(t *testing.T) {
+	g := &Graph{Adj: [][]int32{
+		{1, 2}, // 0
+		{0},    // 1
+		{},     // 2 (isolated out-degree, but reachable)
+		{4},    // 3 (second component)
+		{3},    // 4
+	}, Seed: 0}
+	st := ComputeStats(g)
+	if st.Vertices != 5 || st.Edges != 5 {
+		t.Errorf("vertices/edges = %d/%d", st.Vertices, st.Edges)
+	}
+	if st.MinDegree != 0 || st.MaxDegree != 2 {
+		t.Errorf("degree range = %d..%d", st.MinDegree, st.MaxDegree)
+	}
+	if st.Isolated != 1 {
+		t.Errorf("isolated = %d", st.Isolated)
+	}
+	if st.ReachableFromSeed != 3 {
+		t.Errorf("reachable = %d, want 3", st.ReachableFromSeed)
+	}
+	if st.Components != 2 {
+		t.Errorf("components = %d, want 2", st.Components)
+	}
+	if st.AvgDegree != 1 {
+		t.Errorf("avg degree = %v", st.AvgDegree)
+	}
+}
+
+func TestComputeStatsEmpty(t *testing.T) {
+	st := ComputeStats(&Graph{})
+	if st.Vertices != 0 || st.Components != 0 {
+		t.Errorf("empty stats = %+v", st)
+	}
+}
+
+func TestComputeStatsOnBuiltGraph(t *testing.T) {
+	s := testSpace(300, 12, 3, 101)
+	g, err := Ours(10, 3, 102).Build(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := ComputeStats(g)
+	if st.Components != 1 {
+		t.Errorf("pipeline graph has %d components, want 1 (connectivity component ran)", st.Components)
+	}
+	if st.ReachableFromSeed != 300 {
+		t.Errorf("reachable = %d", st.ReachableFromSeed)
+	}
+	if st.MedianDegree <= 0 || st.P99Degree < st.MedianDegree {
+		t.Errorf("degree quantiles look wrong: median=%d p99=%d", st.MedianDegree, st.P99Degree)
+	}
+}
+
+func TestDegreeHistogram(t *testing.T) {
+	g := &Graph{Adj: [][]int32{{1, 2, 3}, {0}, {0, 1}, {}}}
+	h := DegreeHistogram(g, 2)
+	// degrees: 3,1,2,0 → buckets (width 2): 2,0,2,0 → {0:2, 2:2}
+	if h[0] != 2 || h[2] != 2 {
+		t.Errorf("histogram = %v", h)
+	}
+	// Degenerate bucket width defaults.
+	h = DegreeHistogram(g, 0)
+	total := 0
+	for _, c := range h {
+		total += c
+	}
+	if total != 4 {
+		t.Errorf("histogram lost vertices: %v", h)
+	}
+}

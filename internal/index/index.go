@@ -1,0 +1,207 @@
+// Package index assembles the fused proximity-graph index of §VII: the
+// weighted-concatenation space, the component-pipeline build (Algorithm
+// 1), brute-force exact search (the paper's MUST-- and MR-- baselines and
+// the ground-truth generator), and index serialization.
+package index
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"must/internal/graph"
+	"must/internal/search"
+	"must/internal/vec"
+)
+
+// Fused is a built fused index: the proximity graph over weighted
+// concatenated vectors plus everything needed to search it.
+type Fused struct {
+	// Graph is the proximity graph (vertices = object IDs).
+	Graph *graph.Graph
+	// Weights are the modality weights ω the index was built under.
+	Weights vec.Weights
+	// Objects are the indexed multi-vector objects (shared with the
+	// caller, read-only).
+	Objects []vec.Multi
+	// BuildTime records wall-clock construction time (Fig. 7).
+	BuildTime time.Duration
+	// Pipeline describes how the graph was assembled.
+	Pipeline string
+
+	// space caches the weighted-concatenation space for incremental
+	// inserts; rebuilt lazily after deserialization.
+	space *graph.Space
+}
+
+// BuildFused constructs the fused index over objects with the given
+// weights using pipeline p.
+func BuildFused(objects []vec.Multi, w vec.Weights, p graph.Pipeline) (*Fused, error) {
+	if len(objects) == 0 {
+		return nil, fmt.Errorf("index: no objects to index")
+	}
+	start := time.Now()
+	space := graph.NewFusedSpace(objects, w)
+	g, err := p.Build(space)
+	if err != nil {
+		return nil, err
+	}
+	return &Fused{
+		Graph:     g,
+		Weights:   w.Clone(),
+		Objects:   objects,
+		BuildTime: time.Since(start),
+		Pipeline:  p.Name,
+		space:     space,
+	}, nil
+}
+
+// BuildFusedGraph wraps an externally built graph (HNSW, Vamana, HCNNG)
+// into a Fused index so every §VIII-G competitor searches through the same
+// joint-search machinery.
+func BuildFusedGraph(objects []vec.Multi, w vec.Weights, name string, build func(*graph.Space) *graph.Graph) (*Fused, error) {
+	if len(objects) == 0 {
+		return nil, fmt.Errorf("index: no objects to index")
+	}
+	start := time.Now()
+	space := graph.NewFusedSpace(objects, w)
+	g := build(space)
+	return &Fused{
+		Graph:     g,
+		Weights:   w.Clone(),
+		Objects:   objects,
+		BuildTime: time.Since(start),
+		Pipeline:  name,
+	}, nil
+}
+
+// NewSearcher returns a fresh single-goroutine searcher over the index.
+func (f *Fused) NewSearcher(opts ...search.Option) *search.Searcher {
+	return search.New(f.Graph, f.Objects, f.Weights, opts...)
+}
+
+// SizeBytes reports the index size (graph memory only, matching how the
+// paper reports index size separately from the vector data).
+func (f *Fused) SizeBytes() int64 { return f.Graph.SizeBytes() }
+
+// Insert incrementally adds a new object (§IX dynamic updates): the
+// object's weighted concatenation beam-searches for its neighborhood and
+// links with MRNG selection plus degree-capped reverse edges. gamma and
+// beam default to 30 and 4·gamma when non-positive. Searchers created
+// before the insert do not see the new object; create them after.
+func (f *Fused) Insert(o vec.Multi, gamma, beam int) (int, error) {
+	if len(f.Objects) == 0 {
+		return 0, fmt.Errorf("index: cannot insert into an empty index")
+	}
+	if len(o) != len(f.Objects[0]) {
+		return 0, fmt.Errorf("index: object has %d modalities, index has %d", len(o), len(f.Objects[0]))
+	}
+	for i, v := range o {
+		if len(v) != len(f.Objects[0][i]) {
+			return 0, fmt.Errorf("index: modality %d has dim %d, index has %d", i, len(v), len(f.Objects[0][i]))
+		}
+	}
+	if gamma <= 0 {
+		gamma = 30
+	}
+	if beam <= 0 {
+		beam = 4 * gamma
+	}
+	if f.space == nil {
+		f.space = graph.NewFusedSpace(f.Objects, f.Weights)
+	}
+	f.Objects = append(f.Objects, o)
+	id := f.space.Append(vec.WeightedConcat(f.Weights, o))
+	graph.Insert(f.space, f.Graph, id, gamma, beam)
+	return int(id), nil
+}
+
+// ---------------------------------------------------------------------------
+// Brute force (MUST-- / MR-- and ground-truth generation).
+
+// BruteForce performs exact top-k retrieval by scanning all objects — the
+// paper's "--" baselines (§VIII-D) and the ground-truth oracle for the
+// feature datasets.
+type BruteForce struct {
+	Objects []vec.Multi
+	Weights vec.Weights
+}
+
+// TopK returns the exact top-k object IDs by joint similarity to query,
+// best first.
+func (b *BruteForce) TopK(query vec.Multi, k int) []search.Result {
+	return bruteTopK(b.Objects, b.Weights, query, k, 1)
+}
+
+// TopKParallel is TopK using all cores; used for bulk ground-truth
+// computation, not for timing comparisons (the paper measures
+// single-threaded search).
+func (b *BruteForce) TopKParallel(query vec.Multi, k int) []search.Result {
+	return bruteTopK(b.Objects, b.Weights, query, k, runtime.GOMAXPROCS(0))
+}
+
+func bruteTopK(objects []vec.Multi, w vec.Weights, query vec.Multi, k int, workers int) []search.Result {
+	n := len(objects)
+	if n == 0 || k <= 0 {
+		return nil
+	}
+	if k > n {
+		k = n
+	}
+	scanner := vec.NewPartialIPScanner(w, query)
+	type shard struct{ res []search.Result }
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	shards := make([]shard, workers)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	chunk := (n + workers - 1) / workers
+	for wi := 0; wi < workers; wi++ {
+		go func(wi int) {
+			defer wg.Done()
+			// Each worker needs its own scanner state? The scanner is
+			// stateless per Scan call, so sharing is safe for FullIP.
+			lo, hi := wi*chunk, (wi+1)*chunk
+			if hi > n {
+				hi = n
+			}
+			local := make([]search.Result, 0, k+1)
+			for i := lo; i < hi; i++ {
+				ip := scanner.FullIP(objects[i])
+				if len(local) == k && ip <= local[len(local)-1].IP {
+					continue
+				}
+				pos := sort.Search(len(local), func(j int) bool { return local[j].IP < ip })
+				if len(local) < k {
+					local = append(local, search.Result{})
+				} else if pos >= k {
+					continue
+				}
+				copy(local[pos+1:], local[pos:])
+				local[pos] = search.Result{ID: i, IP: ip}
+			}
+			shards[wi].res = local
+		}(wi)
+	}
+	wg.Wait()
+	merged := make([]search.Result, 0, workers*k)
+	for _, s := range shards {
+		merged = append(merged, s.res...)
+	}
+	sort.Slice(merged, func(i, j int) bool {
+		if merged[i].IP != merged[j].IP {
+			return merged[i].IP > merged[j].IP
+		}
+		return merged[i].ID < merged[j].ID
+	})
+	if len(merged) > k {
+		merged = merged[:k]
+	}
+	return merged
+}

@@ -1,0 +1,174 @@
+package index
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"must/internal/graph"
+	"must/internal/vec"
+)
+
+// Binary index format, little-endian:
+//
+//	magic "MUSTIX1\n"
+//	pipelineLen uint32, pipeline bytes
+//	numWeights uint32, weights float32...
+//	numVertices uint32, seed uint32
+//	per vertex: degree uint32, neighbors uint32...
+//
+// Object vectors are not stored — the index references the dataset, which
+// has its own serialization (internal/dataset).
+
+var ixMagic = [8]byte{'M', 'U', 'S', 'T', 'I', 'X', '1', '\n'}
+
+// Write serializes the index structure (graph + weights) to w.
+func (f *Fused) Write(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := bw.Write(ixMagic[:]); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(f.Pipeline))); err != nil {
+		return err
+	}
+	if _, err := bw.WriteString(f.Pipeline); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(f.Weights))); err != nil {
+		return err
+	}
+	for _, x := range f.Weights {
+		if err := binary.Write(bw, binary.LittleEndian, math.Float32bits(x)); err != nil {
+			return err
+		}
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(f.Graph.Adj))); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(f.Graph.Seed)); err != nil {
+		return err
+	}
+	for _, nbrs := range f.Graph.Adj {
+		if err := binary.Write(bw, binary.LittleEndian, uint32(len(nbrs))); err != nil {
+			return err
+		}
+		for _, u := range nbrs {
+			if err := binary.Write(bw, binary.LittleEndian, uint32(u)); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadFused deserializes an index structure and attaches the given object
+// vectors (which must be the same dataset the index was built over).
+func ReadFused(r io.Reader, objects []vec.Multi) (*Fused, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	var got [8]byte
+	if _, err := io.ReadFull(br, got[:]); err != nil {
+		return nil, fmt.Errorf("index: reading magic: %w", err)
+	}
+	if got != ixMagic {
+		return nil, fmt.Errorf("index: bad magic %q", got[:])
+	}
+	readU32 := func() (uint32, error) {
+		var x uint32
+		err := binary.Read(br, binary.LittleEndian, &x)
+		return x, err
+	}
+	pLen, err := readU32()
+	if err != nil {
+		return nil, err
+	}
+	if pLen > 1<<16 {
+		return nil, fmt.Errorf("index: unreasonable pipeline name length %d", pLen)
+	}
+	pBytes := make([]byte, pLen)
+	if _, err := io.ReadFull(br, pBytes); err != nil {
+		return nil, err
+	}
+	nw, err := readU32()
+	if err != nil {
+		return nil, err
+	}
+	if nw > 64 {
+		return nil, fmt.Errorf("index: unreasonable weight count %d", nw)
+	}
+	weights := make(vec.Weights, nw)
+	for i := range weights {
+		bits, err := readU32()
+		if err != nil {
+			return nil, err
+		}
+		weights[i] = math.Float32frombits(bits)
+	}
+	nv, err := readU32()
+	if err != nil {
+		return nil, err
+	}
+	if int(nv) != len(objects) {
+		return nil, fmt.Errorf("index: graph has %d vertices, dataset has %d objects", nv, len(objects))
+	}
+	seed, err := readU32()
+	if err != nil {
+		return nil, err
+	}
+	if seed >= nv {
+		return nil, fmt.Errorf("index: seed %d out of range", seed)
+	}
+	adj := make([][]int32, nv)
+	for v := range adj {
+		deg, err := readU32()
+		if err != nil {
+			return nil, fmt.Errorf("index: reading vertex %d: %w", v, err)
+		}
+		if deg > nv {
+			return nil, fmt.Errorf("index: vertex %d degree %d out of range", v, deg)
+		}
+		nbrs := make([]int32, deg)
+		for i := range nbrs {
+			u, err := readU32()
+			if err != nil {
+				return nil, err
+			}
+			if u >= nv {
+				return nil, fmt.Errorf("index: vertex %d neighbor %d out of range", v, u)
+			}
+			nbrs[i] = int32(u)
+		}
+		adj[v] = nbrs
+	}
+	return &Fused{
+		Graph:    &graph.Graph{Adj: adj, Seed: int32(seed)},
+		Weights:  weights,
+		Objects:  objects,
+		Pipeline: string(pBytes),
+	}, nil
+}
+
+// Save writes the index to the file at path.
+func (f *Fused) Save(path string) error {
+	file, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := f.Write(file); err != nil {
+		file.Close()
+		return err
+	}
+	return file.Close()
+}
+
+// Load reads an index from path and attaches objects.
+func Load(path string, objects []vec.Multi) (*Fused, error) {
+	file, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer file.Close()
+	return ReadFused(file, objects)
+}

@@ -1,0 +1,104 @@
+// Package metrics implements the paper's evaluation metrics: the recall
+// rate Recall@k(k') of Eq. 1, the similarity measurement error SME of
+// Eq. 4, and queries-per-second accounting (§VIII-A).
+package metrics
+
+import (
+	"sort"
+	"time"
+)
+
+// Recall computes Recall@k(k') = |R ∩ G| / k' for one query, where result
+// holds the returned object IDs (R, len ≤ k) and truth the ground-truth
+// IDs (G, len = k'). An empty ground truth yields 0.
+func Recall(result, truth []int) float64 {
+	if len(truth) == 0 {
+		return 0
+	}
+	in := make(map[int]struct{}, len(truth))
+	for _, id := range truth {
+		in[id] = struct{}{}
+	}
+	hits := 0
+	for _, id := range result {
+		if _, ok := in[id]; ok {
+			hits++
+			delete(in, id) // count duplicates in result only once
+		}
+	}
+	return float64(hits) / float64(len(truth))
+}
+
+// MeanRecall averages Recall over a batch; results and truths must have
+// equal length.
+func MeanRecall(results, truths [][]int) float64 {
+	if len(results) != len(truths) {
+		panic("metrics: results/truths length mismatch")
+	}
+	if len(results) == 0 {
+		return 0
+	}
+	var s float64
+	for i := range results {
+		s += Recall(results[i], truths[i])
+	}
+	return s / float64(len(results))
+}
+
+// SME computes the similarity measurement error of Eq. 4 for one query:
+// 1 − IP(ϕ0(a0), ϕ0(r0)), where aSim is the target-modality inner product
+// between the ground-truth object and the returned object. Callers pass
+// the precomputed IP because only they know the vectors.
+func SME(ip float32) float64 {
+	return 1 - float64(ip)
+}
+
+// QPS converts a query count and total elapsed search time into queries
+// per second (#q/τ, §VIII-A).
+func QPS(queries int, elapsed time.Duration) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(queries) / elapsed.Seconds()
+}
+
+// Series is one (recall, qps) trade-off point, a sample of the curves in
+// Fig. 6, 8 and 10.
+type Point struct {
+	// Param is the knob that produced the point (the beam width l).
+	Param int
+	// Recall is the mean recall at this setting.
+	Recall float64
+	// QPS is the measured throughput at this setting.
+	QPS float64
+	// Latency is the mean per-query response time.
+	Latency time.Duration
+}
+
+// Frontier sorts points by recall and removes points that are dominated
+// (another point has both ≥ recall and ≥ QPS), yielding the Pareto
+// frontier that the paper's QPS-vs-recall plots trace.
+func Frontier(points []Point) []Point {
+	sorted := append([]Point(nil), points...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Recall != sorted[j].Recall {
+			return sorted[i].Recall < sorted[j].Recall
+		}
+		return sorted[i].QPS > sorted[j].QPS
+	})
+	out := make([]Point, 0, len(sorted))
+	bestQPS := -1.0
+	// Walk from the high-recall end so we keep the highest-QPS point for
+	// every recall level.
+	for i := len(sorted) - 1; i >= 0; i-- {
+		if sorted[i].QPS > bestQPS {
+			out = append(out, sorted[i])
+			bestQPS = sorted[i].QPS
+		}
+	}
+	// Reverse back to ascending recall.
+	for i, j := 0, len(out)-1; i < j; i, j = i+1, j-1 {
+		out[i], out[j] = out[j], out[i]
+	}
+	return out
+}

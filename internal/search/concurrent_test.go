@@ -1,0 +1,102 @@
+package search
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"must/internal/vec"
+)
+
+// The index (graph + vectors) is read-only after build; one Searcher per
+// goroutine must produce exactly the same results as serial execution.
+func TestConcurrentSearchersAgreeWithSerial(t *testing.T) {
+	objects, w, g := buildFixture(t, 800, 31)
+	rng := rand.New(rand.NewSource(32))
+	const nq = 40
+	queries := make([]vec.Multi, nq)
+	for i := range queries {
+		queries[i] = randomQuery(rng)
+	}
+
+	serial := make([][]Result, nq)
+	s := New(g, objects, w, WithRandSeed(99))
+	for i, q := range queries {
+		res, _, err := s.Search(q, 10, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial[i] = res
+	}
+
+	parallel := make([][]Result, nq)
+	var wg sync.WaitGroup
+	const workers = 4
+	wg.Add(workers)
+	for wkr := 0; wkr < workers; wkr++ {
+		go func(wkr int) {
+			defer wg.Done()
+			// Fresh searcher per goroutine, same pool RNG seed so the
+			// random initial candidates match the serial run per query.
+			for i := wkr; i < nq; i += workers {
+				local := New(g, objects, w, WithRandSeed(99))
+				// Replay earlier queries to advance the RNG to the same
+				// position the serial searcher had.
+				for j := 0; j < i; j++ {
+					if _, _, err := local.Search(queries[j], 10, 100); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+				res, _, err := local.Search(queries[i], 10, 100)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				parallel[i] = res
+			}
+		}(wkr)
+	}
+	wg.Wait()
+
+	for i := range serial {
+		if len(serial[i]) != len(parallel[i]) {
+			t.Fatalf("query %d: result count differs", i)
+		}
+		for j := range serial[i] {
+			if serial[i][j].ID != parallel[i][j].ID {
+				t.Fatalf("query %d rank %d: %d vs %d", i, j, serial[i][j].ID, parallel[i][j].ID)
+			}
+		}
+	}
+}
+
+// Tombstones shared across searchers: flipping entries between searches
+// is visible to existing searchers (documented sharing semantics).
+func TestTombstonesSharedSemantics(t *testing.T) {
+	objects, w, g := buildFixture(t, 300, 33)
+	dead := make([]bool, len(objects))
+	s := New(g, objects, w, WithTombstones(dead))
+	rng := rand.New(rand.NewSource(34))
+	q := randomQuery(rng)
+	before, _, err := s.Search(q, 5, 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(before) == 0 {
+		t.Fatal("no results")
+	}
+	dead[before[0].ID] = true
+	after, _, err := s.Search(q, 5, 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range after {
+		if r.ID == before[0].ID {
+			t.Fatal("tombstoned-after-the-fact object still returned")
+		}
+	}
+	if len(after) != 5 {
+		t.Fatalf("got %d results, want 5", len(after))
+	}
+}

@@ -1,0 +1,285 @@
+// Package search implements MUST's merging-free joint search (Algorithm 2,
+// §VII-B): greedy beam routing over the fused proximity graph under the
+// joint similarity of Lemma 1, with the multi-vector partial-inner-product
+// early-termination optimization of Lemma 4.
+package search
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"must/internal/graph"
+	"must/internal/vec"
+)
+
+// Stats reports the work one search performed; the Fig. 10(c) experiment
+// and the efficiency analyses read these.
+type Stats struct {
+	// FullEvals counts candidates whose joint IP was computed across all
+	// modalities.
+	FullEvals int
+	// PartialSkips counts candidates discarded early by the Lemma 4
+	// bound before all modalities were scanned.
+	PartialSkips int
+	// Hops counts the vertices expanded by greedy routing.
+	Hops int
+}
+
+// Searcher executes joint searches over a fused index. It is not safe for
+// concurrent use; create one Searcher per goroutine (they share the
+// underlying graph and object vectors, which are read-only).
+type Searcher struct {
+	g       *graph.Graph
+	objects []vec.Multi
+	weights vec.Weights
+	// optimize toggles the Lemma 4 partial-IP early termination
+	// (§VIII-G, Fig. 10(c)).
+	optimize bool
+	// tombstones marks deleted objects (§IX index updates): tombstoned
+	// vertices still route — they may be essential for connectivity — but
+	// are excluded from results until the next rebuild.
+	tombstones []bool
+	// filter, when set, restricts results to objects it accepts — the
+	// hybrid-query setting of §III (vector search + attribute
+	// constraints). Filtered-out vertices still route.
+	filter func(id int) bool
+	// patience enables adaptive early termination: stop routing after
+	// this many consecutive hops that fail to improve the result pool
+	// (0 = run Algorithm 2 to completion).
+	patience int
+	rng      *rand.Rand
+
+	// reusable per-search state
+	visited []bool // H of Algorithm 2
+	seen    []bool // vertices whose IP has been computed
+	touched []int32
+}
+
+// Option configures a Searcher.
+type Option func(*Searcher)
+
+// WithOptimization enables or disables the Lemma 4 multi-vector
+// computation optimization (enabled by default).
+func WithOptimization(on bool) Option {
+	return func(s *Searcher) { s.optimize = on }
+}
+
+// WithRandSeed fixes the seed of the random initial candidates of
+// Algorithm 2 line 2 (default 1, making searches deterministic).
+func WithRandSeed(seed int64) Option {
+	return func(s *Searcher) { s.rng = rand.New(rand.NewSource(seed)) }
+}
+
+// WithTombstones attaches a deletion bitset (§IX): objects with a true
+// entry are routed through during greedy search — removing them could
+// disconnect the graph — but never returned. The slice is shared, not
+// copied, so callers may flip entries between searches. Raise l when many
+// objects are deleted, since tombstoned pool entries crowd out results.
+func WithTombstones(dead []bool) Option {
+	return func(s *Searcher) { s.tombstones = dead }
+}
+
+// WithFilter restricts results to objects accepted by keep — the hybrid
+// vector-plus-constraint queries of §III. Rejected objects still
+// participate in routing; raise l when the filter is selective.
+func WithFilter(keep func(id int) bool) Option {
+	return func(s *Searcher) { s.filter = keep }
+}
+
+// WithEarlyTermination stops the greedy routing after `patience`
+// consecutive hops that do not improve the result pool, trading a little
+// recall for latency (the adaptive-termination idea the paper cites as
+// [54]). patience ≤ 0 disables it (Algorithm 2 runs to completion).
+func WithEarlyTermination(patience int) Option {
+	return func(s *Searcher) { s.patience = patience }
+}
+
+// New creates a Searcher over a built graph, the object multi-vectors it
+// indexes, and the modality weights.
+func New(g *graph.Graph, objects []vec.Multi, w vec.Weights, opts ...Option) *Searcher {
+	s := &Searcher{
+		g:        g,
+		objects:  objects,
+		weights:  w,
+		optimize: true,
+		rng:      rand.New(rand.NewSource(1)),
+		visited:  make([]bool, len(objects)),
+		seen:     make([]bool, len(objects)),
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// Result is one returned object with its joint similarity.
+type Result struct {
+	ID int
+	IP float32
+}
+
+// Search returns the approximate top-k results for the multimodal query
+// under the searcher's weights. l is the result-set size of Algorithm 2
+// (l ≥ k); larger l trades speed for recall (Tab. XII). Missing query
+// modalities are handled by zero weights in the searcher's weight vector
+// (§VII-B).
+func (s *Searcher) Search(query vec.Multi, k, l int) ([]Result, Stats, error) {
+	if k <= 0 {
+		return nil, Stats{}, fmt.Errorf("search: k must be positive, got %d", k)
+	}
+	if l < k {
+		return nil, Stats{}, fmt.Errorf("search: l (%d) must be at least k (%d)", l, k)
+	}
+	if len(query) != 0 && len(s.objects) > 0 && len(query) != len(s.objects[0]) {
+		return nil, Stats{}, fmt.Errorf("search: query has %d modalities, objects have %d", len(query), len(s.objects[0]))
+	}
+	n := len(s.objects)
+	if n == 0 {
+		return nil, Stats{}, nil
+	}
+	if l > n {
+		l = n
+	}
+
+	var stats Stats
+	scanner := vec.NewPartialIPScanner(s.weights, query)
+
+	// Reset the visit/seen markers from the previous search.
+	for _, v := range s.touched {
+		s.visited[v] = false
+		s.seen[v] = false
+	}
+	s.touched = s.touched[:0]
+
+	// evalFull computes the exact joint IP (distance form, so the
+	// optimized and unoptimized paths agree bit-for-bit).
+	evalFull := func(id int32) float32 {
+		stats.FullEvals++
+		return scanner.FullIP(s.objects[id])
+	}
+
+	// R: the result pool, sorted by descending IP, capacity l.
+	type entry struct {
+		id int32
+		ip float32
+	}
+	pool := make([]entry, 0, l)
+	insert := func(id int32, ip float32) {
+		pos := sort.Search(len(pool), func(i int) bool { return pool[i].ip < ip })
+		if len(pool) < l {
+			pool = append(pool, entry{})
+		} else if pos >= l {
+			return
+		}
+		copy(pool[pos+1:], pool[pos:])
+		pool[pos] = entry{id, ip}
+	}
+	mark := func(id int32) {
+		s.seen[id] = true
+		s.touched = append(s.touched, id)
+	}
+
+	// Line 1-3: seed plus l-1 random vertices.
+	mark(s.g.Seed)
+	insert(s.g.Seed, evalFull(s.g.Seed))
+	for len(pool) < l {
+		id := int32(s.rng.Intn(n))
+		if s.seen[id] {
+			continue
+		}
+		mark(id)
+		insert(id, evalFull(id))
+		if len(s.touched) == n {
+			break
+		}
+	}
+
+	// Lines 4-10: greedy routing.
+	stale := 0
+	for {
+		// v ← nearest unvisited vertex in R.
+		idx := -1
+		for i := range pool {
+			if !s.visited[pool[i].id] {
+				idx = i
+				break
+			}
+		}
+		if idx == -1 {
+			break
+		}
+		v := pool[idx].id
+		s.visited[v] = true
+		stats.Hops++
+		threshold := pool[len(pool)-1].ip // worst of R (z in Algorithm 2)
+		full := len(pool) == l
+		improved := false
+		for _, u := range s.g.Adj[v] {
+			if s.seen[u] {
+				continue
+			}
+			mark(u)
+			var ip float32
+			if s.optimize && full {
+				bound, exact := scanner.Scan(s.objects[u], threshold)
+				if !exact {
+					stats.PartialSkips++
+					continue
+				}
+				stats.FullEvals++
+				ip = bound
+			} else {
+				ip = evalFull(u)
+				if full && ip <= threshold {
+					continue
+				}
+			}
+			insert(u, ip)
+			improved = true
+			threshold = pool[len(pool)-1].ip
+			full = len(pool) == l
+		}
+		if s.patience > 0 {
+			if improved {
+				stale = 0
+			} else if stale++; stale >= s.patience {
+				break
+			}
+		}
+	}
+
+	out := make([]Result, 0, k)
+	for _, e := range pool {
+		if len(out) == k {
+			break
+		}
+		if int(e.id) < len(s.tombstones) && s.tombstones[e.id] {
+			continue
+		}
+		if s.filter != nil && !s.filter(int(e.id)) {
+			continue
+		}
+		out = append(out, Result{ID: int(e.id), IP: e.ip})
+	}
+	return out, stats, nil
+}
+
+// IDs extracts the object IDs of results, in rank order.
+func IDs(rs []Result) []int {
+	out := make([]int, len(rs))
+	for i, r := range rs {
+		out[i] = r.ID
+	}
+	return out
+}
+
+// ModalityView re-wraps multi-vector objects as single-modality objects so
+// the same Searcher machinery can serve MR's per-modality indexes.
+func ModalityView(objects []vec.Multi, modality int) []vec.Multi {
+	out := make([]vec.Multi, len(objects))
+	for i, o := range objects {
+		out[i] = vec.Multi{o[modality]}
+	}
+	return out
+}

@@ -1,0 +1,60 @@
+package vec
+
+import (
+	"math"
+	"math/rand"
+)
+
+// RandUnit returns a random unit vector of dimension dim drawn from the
+// isotropic Gaussian distribution (then normalized), using rng. All
+// randomness in the reproduction flows through explicitly seeded *rand.Rand
+// instances so every experiment is deterministic.
+func RandUnit(rng *rand.Rand, dim int) []float32 {
+	v := make([]float32, dim)
+	for i := range v {
+		v[i] = float32(rng.NormFloat64())
+	}
+	return Normalize(v)
+}
+
+// AddGaussianNoise returns a new vector equal to v plus an isotropic
+// Gaussian noise vector whose expected norm is sigma·||v||-independent —
+// the per-coordinate deviation is sigma/sqrt(dim) — re-normalized to unit
+// length. sigma is therefore a dimension-free noise-to-signal ratio: for a
+// unit v, E[IP(v, noisy(v))] ≈ 1/sqrt(1+sigma²). It models encoder error:
+// the larger sigma, the worse the encoder.
+func AddGaussianNoise(rng *rand.Rand, v []float32, sigma float64) []float32 {
+	if len(v) == 0 {
+		return nil
+	}
+	perCoord := sigma / math.Sqrt(float64(len(v)))
+	out := make([]float32, len(v))
+	for i := range v {
+		out[i] = v[i] + float32(rng.NormFloat64()*perCoord)
+	}
+	return Normalize(out)
+}
+
+// RandProjection returns a rows×cols random Gaussian projection matrix in
+// row-major order. It models an encoder's mapping from a latent space into
+// that encoder's embedding space.
+func RandProjection(rng *rand.Rand, rows, cols int) []float32 {
+	m := make([]float32, rows*cols)
+	for i := range m {
+		m[i] = float32(rng.NormFloat64())
+	}
+	return m
+}
+
+// ApplyProjection computes normalize(M·x) where M is rows×len(x) row-major.
+func ApplyProjection(m []float32, rows int, x []float32) []float32 {
+	cols := len(x)
+	if len(m) != rows*cols {
+		panic("vec: projection shape mismatch")
+	}
+	out := make([]float32, rows)
+	for r := 0; r < rows; r++ {
+		out[r] = Dot(m[r*cols:(r+1)*cols], x)
+	}
+	return Normalize(out)
+}

@@ -1,0 +1,137 @@
+// Package vec provides the float32 vector primitives used throughout the
+// MUST reproduction: inner products, Euclidean distances, normalization,
+// and the multi-vector joint-similarity operations of Lemma 1 and the
+// partial-inner-product early-termination machinery of Lemma 4.
+//
+// All similarity computations in the paper operate on L2-normalized
+// vectors, where IP(a, b) = 1 - 0.5*||a-b||^2 (Eq. 8). The helpers here
+// preserve that identity exactly so that higher layers may interchange
+// inner-product and distance formulations.
+package vec
+
+import (
+	"fmt"
+	"math"
+)
+
+// Dot returns the inner product of a and b. The two slices must have the
+// same length; Dot panics otherwise, because a dimension mismatch is a
+// programming error rather than a runtime condition.
+func Dot(a, b []float32) float32 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("vec: dot dimension mismatch %d != %d", len(a), len(b)))
+	}
+	var s float32
+	// Unrolled 4-wide loop: the Go compiler does not auto-vectorize, and
+	// this inner product dominates index build and search time.
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		s += a[i]*b[i] + a[i+1]*b[i+1] + a[i+2]*b[i+2] + a[i+3]*b[i+3]
+	}
+	for ; i < len(a); i++ {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// SquaredL2 returns the squared Euclidean distance between a and b.
+func SquaredL2(a, b []float32) float32 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("vec: l2 dimension mismatch %d != %d", len(a), len(b)))
+	}
+	var s float32
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		d0 := a[i] - b[i]
+		d1 := a[i+1] - b[i+1]
+		d2 := a[i+2] - b[i+2]
+		d3 := a[i+3] - b[i+3]
+		s += d0*d0 + d1*d1 + d2*d2 + d3*d3
+	}
+	for ; i < len(a); i++ {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// Norm returns the Euclidean norm of v.
+func Norm(v []float32) float32 {
+	var s float64
+	for _, x := range v {
+		s += float64(x) * float64(x)
+	}
+	return float32(math.Sqrt(s))
+}
+
+// Normalize scales v in place to unit Euclidean norm and returns v.
+// A zero vector is left unchanged (there is no meaningful direction).
+func Normalize(v []float32) []float32 {
+	n := Norm(v)
+	if n == 0 {
+		return v
+	}
+	inv := 1 / n
+	for i := range v {
+		v[i] *= inv
+	}
+	return v
+}
+
+// Normalized returns a freshly allocated unit-norm copy of v.
+func Normalized(v []float32) []float32 {
+	out := make([]float32, len(v))
+	copy(out, v)
+	return Normalize(out)
+}
+
+// Clone returns a copy of v.
+func Clone(v []float32) []float32 {
+	out := make([]float32, len(v))
+	copy(out, v)
+	return out
+}
+
+// Add returns a+b as a new vector.
+func Add(a, b []float32) []float32 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("vec: add dimension mismatch %d != %d", len(a), len(b)))
+	}
+	out := make([]float32, len(a))
+	for i := range a {
+		out[i] = a[i] + b[i]
+	}
+	return out
+}
+
+// AXPY computes y += alpha*x in place.
+func AXPY(alpha float32, x, y []float32) {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("vec: axpy dimension mismatch %d != %d", len(x), len(y)))
+	}
+	for i := range x {
+		y[i] += alpha * x[i]
+	}
+}
+
+// Scale returns alpha*v as a new vector.
+func Scale(alpha float32, v []float32) []float32 {
+	out := make([]float32, len(v))
+	for i := range v {
+		out[i] = alpha * v[i]
+	}
+	return out
+}
+
+// Concat concatenates the given vectors into one new vector.
+func Concat(vs ...[]float32) []float32 {
+	total := 0
+	for _, v := range vs {
+		total += len(v)
+	}
+	out := make([]float32, 0, total)
+	for _, v := range vs {
+		out = append(out, v...)
+	}
+	return out
+}

@@ -1,0 +1,64 @@
+package weights
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"must/internal/vec"
+)
+
+// Property: renormalize pins Σω² = m while preserving every pairwise
+// ratio (hence all joint-similarity rankings).
+func TestRenormalizeInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := 2 + rng.Intn(4)
+		w := make(vec.Weights, m)
+		for i := range w {
+			w[i] = float32(rng.Float64()*3 + 0.01)
+		}
+		before := w.Clone()
+		renormalize(w)
+		if math.Abs(float64(w.SumSquared())-float64(m)) > 1e-3 {
+			return false
+		}
+		// Ratios preserved.
+		for i := 1; i < m; i++ {
+			r0 := float64(before[i]) / float64(before[0])
+			r1 := float64(w[i]) / float64(w[0])
+			if math.Abs(r0-r1) > 1e-4*math.Max(1, math.Abs(r0)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(8))}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRenormalizeDegenerate(t *testing.T) {
+	w := vec.Weights{0, 0}
+	renormalize(w)
+	if math.Abs(float64(w.SumSquared())-2) > 1e-4 {
+		t.Errorf("zero weights not reset to uniform: %v", w)
+	}
+}
+
+// Training with renormalization must keep Σω² = m at every trace point.
+func TestTrainingKeepsWeightNormalization(t *testing.T) {
+	anchors, positives, pool := balancedTraining(60, 9)
+	res, err := Train(anchors, positives, pool, Config{
+		Epochs: 40, HardNegatives: true, NumNegatives: 4, LearningRate: 0.05, Seed: 10, TraceEvery: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range res.Trace[1:] { // epoch 0 records the raw init
+		if s := float64(tr.Weights.SumSquared()); math.Abs(s-2) > 1e-2 {
+			t.Errorf("epoch %d: Σω² = %v, want 2", tr.Epoch, s)
+		}
+	}
+}

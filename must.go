@@ -1,0 +1,514 @@
+// Package must is a Go implementation of MUST — the Multimodal Search of
+// Target Modality framework (Wang et al., ICDE 2024). It answers queries
+// that combine a target-modality example (e.g. a reference image) with
+// auxiliary-modality constraints (e.g. an edit described in text) against
+// a corpus of multimodal objects.
+//
+// The framework has three pluggable stages (§IV of the paper):
+//
+//  1. Embedding: every object and query is represented by one vector per
+//     modality (multi-vector representation, §V). Any encoder can produce
+//     these vectors; this package consumes the vectors directly.
+//  2. Vector weight learning (§VI): LearnWeights fits per-modality
+//     importance weights ω with a contrastive objective so the joint
+//     similarity Σ ω_i²·IP_i ranks true results first. Weights may also be
+//     set manually (user-defined weights, §VIII-F).
+//  3. Fused indexing and joint search (§VII): Build constructs one
+//     proximity graph over the weighted concatenated vectors; Index.Search
+//     routes greedily through it under the joint similarity, with the
+//     multi-vector partial-IP optimization of Lemma 4.
+//
+// # Quick start
+//
+//	c := must.NewCollection(128, 32)          // two modalities
+//	for _, o := range objects { c.Add(o) }    // [][]float32 per object
+//	w, _ := must.LearnWeights(c, trainQueries, trainPositives, must.WeightConfig{})
+//	ix, _ := must.Build(c, w, must.BuildOptions{})
+//	matches, _ := ix.Search(query, must.SearchOptions{K: 10})
+package must
+
+import (
+	"fmt"
+	"math"
+
+	"must/internal/graph"
+	"must/internal/index"
+	"must/internal/search"
+	"must/internal/vec"
+	"must/internal/weights"
+)
+
+// Object is one multimodal object or query: one embedding vector per
+// modality. Modality 0 is the target modality. Vectors should be
+// L2-normalized; Collection.Add normalizes defensively.
+type Object = [][]float32
+
+// Weights are the per-modality importance weights ω of §VI. The joint
+// similarity between two objects is Σ ω_i² · IP(a_i, b_i) (Lemma 1).
+type Weights = []float32
+
+// Collection accumulates multimodal objects with a fixed modality layout.
+type Collection struct {
+	dims    []int
+	objects []vec.Multi
+}
+
+// NewCollection creates a collection whose objects have one vector per
+// modality with the given dimensions. Modality 0 is the target modality.
+func NewCollection(dims ...int) *Collection {
+	out := &Collection{dims: append([]int(nil), dims...)}
+	return out
+}
+
+// Modalities returns the number of modalities per object.
+func (c *Collection) Modalities() int { return len(c.dims) }
+
+// Dims returns the per-modality vector dimensions.
+func (c *Collection) Dims() []int { return append([]int(nil), c.dims...) }
+
+// Len returns the number of objects added.
+func (c *Collection) Len() int { return len(c.objects) }
+
+// Add validates, normalizes and stores an object, returning its ID
+// (position). IDs are dense and stable.
+func (c *Collection) Add(o Object) (int, error) {
+	if len(c.dims) == 0 {
+		return 0, fmt.Errorf("must: collection has no modalities configured")
+	}
+	if len(o) != len(c.dims) {
+		return 0, fmt.Errorf("must: object has %d modalities, collection expects %d", len(o), len(c.dims))
+	}
+	mv := make(vec.Multi, len(o))
+	for i, v := range o {
+		if len(v) != c.dims[i] {
+			return 0, fmt.Errorf("must: modality %d has dim %d, collection expects %d", i, len(v), c.dims[i])
+		}
+		if err := checkFinite(v); err != nil {
+			return 0, fmt.Errorf("must: modality %d: %w", i, err)
+		}
+		mv[i] = vec.Normalized(v)
+	}
+	c.objects = append(c.objects, mv)
+	return len(c.objects) - 1, nil
+}
+
+// checkFinite rejects NaN/Inf coordinates, which would silently poison
+// every similarity they touch.
+func checkFinite(v []float32) error {
+	for i, x := range v {
+		if x != x || x > math.MaxFloat32 || x < -math.MaxFloat32 {
+			return fmt.Errorf("non-finite value at coordinate %d", i)
+		}
+	}
+	return nil
+}
+
+// Object returns a copy of the stored object with the given ID.
+func (c *Collection) Object(id int) (Object, error) {
+	if id < 0 || id >= len(c.objects) {
+		return nil, fmt.Errorf("must: object id %d out of range [0,%d)", id, len(c.objects))
+	}
+	out := make(Object, len(c.objects[id]))
+	for i, v := range c.objects[id] {
+		out[i] = vec.Clone(v)
+	}
+	return out, nil
+}
+
+// UniformWeights returns equal weights for every modality (ω_i² = 1/m),
+// the no-learning default.
+func (c *Collection) UniformWeights() Weights {
+	return vec.Uniform(len(c.dims))
+}
+
+// query converts and validates an external query against the collection
+// layout.
+func (c *Collection) query(q Object) (vec.Multi, error) {
+	if len(q) != len(c.dims) {
+		return nil, fmt.Errorf("must: query has %d modalities, collection expects %d", len(q), len(c.dims))
+	}
+	mv := make(vec.Multi, len(q))
+	for i, v := range q {
+		if v == nil {
+			// Missing modality: zero vector, excluded by a zero weight at
+			// search time (§VII-B).
+			mv[i] = make([]float32, c.dims[i])
+			continue
+		}
+		if len(v) != c.dims[i] {
+			return nil, fmt.Errorf("must: query modality %d has dim %d, expects %d", i, len(v), c.dims[i])
+		}
+		mv[i] = vec.Normalized(v)
+	}
+	return mv, nil
+}
+
+// WeightConfig configures LearnWeights; the zero value uses the paper's
+// defaults (learning rate 0.002, 700 epochs, 10 hard negatives).
+type WeightConfig struct {
+	// LearningRate is the gradient-descent step size.
+	LearningRate float64
+	// Epochs is the number of training passes.
+	Epochs int
+	// Negatives is the number of negative examples per anchor |N−|.
+	Negatives int
+	// RandomNegatives disables hard-negative mining (used for ablation;
+	// keep false for the paper's method).
+	RandomNegatives bool
+	// Seed fixes training randomness.
+	Seed int64
+}
+
+// LearnWeights fits modality weights from training pairs: queries[i]'s
+// true answer is the collection object positives[i]. The pool of true
+// objects (the paper's T) is exactly the referenced objects.
+func LearnWeights(c *Collection, queries []Object, positives []int, cfg WeightConfig) (Weights, error) {
+	if len(queries) != len(positives) {
+		return nil, fmt.Errorf("must: %d queries but %d positives", len(queries), len(positives))
+	}
+	anchors := make([]vec.Multi, len(queries))
+	for i, q := range queries {
+		mv, err := c.query(q)
+		if err != nil {
+			return nil, fmt.Errorf("must: training query %d: %w", i, err)
+		}
+		anchors[i] = mv
+	}
+	// Build the pool T and remap positives into it.
+	poolIDs := make(map[int]int)
+	var pool []vec.Multi
+	remapped := make([]int, len(positives))
+	for i, p := range positives {
+		if p < 0 || p >= c.Len() {
+			return nil, fmt.Errorf("must: positive %d of query %d out of range", p, i)
+		}
+		idx, ok := poolIDs[p]
+		if !ok {
+			idx = len(pool)
+			poolIDs[p] = idx
+			pool = append(pool, c.objects[p])
+		}
+		remapped[i] = idx
+	}
+	res, err := weights.Train(anchors, remapped, pool, weights.Config{
+		LearningRate:  cfg.LearningRate,
+		Epochs:        cfg.Epochs,
+		NumNegatives:  cfg.Negatives,
+		HardNegatives: !cfg.RandomNegatives,
+		Seed:          cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res.Weights, nil
+}
+
+// GraphAlgorithm selects the index-construction algorithm.
+type GraphAlgorithm int
+
+// Supported graph algorithms (§VIII-G). AlgoOurs is the paper's optimized
+// component assembly and the default.
+const (
+	AlgoOurs GraphAlgorithm = iota
+	AlgoKGraph
+	AlgoNSG
+	AlgoNSSG
+	AlgoHNSW
+	AlgoVamana
+	AlgoHCNNG
+)
+
+// String names the algorithm.
+func (a GraphAlgorithm) String() string {
+	switch a {
+	case AlgoOurs:
+		return "Ours"
+	case AlgoKGraph:
+		return "KGraph"
+	case AlgoNSG:
+		return "NSG"
+	case AlgoNSSG:
+		return "NSSG"
+	case AlgoHNSW:
+		return "HNSW"
+	case AlgoVamana:
+		return "Vamana"
+	case AlgoHCNNG:
+		return "HCNNG"
+	default:
+		return fmt.Sprintf("GraphAlgorithm(%d)", int(a))
+	}
+}
+
+// BuildOptions configures index construction; the zero value uses the
+// paper's defaults (γ = 30, ε = 3, the "Ours" pipeline).
+type BuildOptions struct {
+	// Gamma is the maximum out-degree γ (Appendix H; default 30).
+	Gamma int
+	// Iterations is the NNDescent iteration cap ε (default 3).
+	Iterations int
+	// Algorithm selects the graph construction (default AlgoOurs).
+	Algorithm GraphAlgorithm
+	// Seed fixes construction randomness.
+	Seed int64
+}
+
+// Index is a built fused index over a collection snapshot.
+type Index struct {
+	c   *Collection
+	f   *index.Fused
+	opt BuildOptions
+	// dead marks tombstoned objects (§IX index updates): they keep
+	// routing traffic — proximity graphs need them for connectivity — but
+	// are never returned. A rebuild (Build on a compacted collection)
+	// removes them for real.
+	dead []bool
+}
+
+// Build constructs the fused proximity-graph index over the collection
+// under the given weights.
+func Build(c *Collection, w Weights, opts BuildOptions) (*Index, error) {
+	if c.Len() == 0 {
+		return nil, fmt.Errorf("must: cannot index an empty collection")
+	}
+	if len(w) != c.Modalities() {
+		return nil, fmt.Errorf("must: %d weights for %d modalities", len(w), c.Modalities())
+	}
+	if opts.Gamma == 0 {
+		opts.Gamma = 30
+	}
+	if opts.Iterations == 0 {
+		opts.Iterations = 3
+	}
+	wv := vec.Weights(w)
+	var (
+		f   *index.Fused
+		err error
+	)
+	switch opts.Algorithm {
+	case AlgoOurs:
+		f, err = index.BuildFused(c.objects, wv, graph.Ours(opts.Gamma, opts.Iterations, opts.Seed))
+	case AlgoKGraph:
+		f, err = index.BuildFused(c.objects, wv, graph.KGraphAssembly(opts.Gamma, opts.Iterations, opts.Seed))
+	case AlgoNSG:
+		f, err = index.BuildFused(c.objects, wv, graph.NSGAssembly(opts.Gamma, opts.Iterations, 2*opts.Gamma, opts.Seed))
+	case AlgoNSSG:
+		f, err = index.BuildFused(c.objects, wv, graph.NSSGAssembly(opts.Gamma, opts.Iterations, opts.Seed))
+	case AlgoHNSW:
+		f, err = index.BuildFusedGraph(c.objects, wv, "HNSW", func(s *graph.Space) *graph.Graph {
+			return graph.BuildHNSW(s, graph.HNSWConfig{M: opts.Gamma / 2, EfConstruction: 4 * opts.Gamma, Seed: opts.Seed})
+		})
+	case AlgoVamana:
+		f, err = index.BuildFusedGraph(c.objects, wv, "Vamana", func(s *graph.Space) *graph.Graph {
+			return graph.BuildVamana(s, graph.VamanaConfig{Gamma: opts.Gamma, Beam: 2 * opts.Gamma, Alpha: 1.2, Seed: opts.Seed})
+		})
+	case AlgoHCNNG:
+		f, err = index.BuildFusedGraph(c.objects, wv, "HCNNG", func(s *graph.Space) *graph.Graph {
+			return graph.BuildHCNNG(s, graph.HCNNGConfig{Rounds: 3, LeafSize: 200, MaxDegree: opts.Gamma, Seed: opts.Seed})
+		})
+	default:
+		return nil, fmt.Errorf("must: unknown graph algorithm %v", opts.Algorithm)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &Index{c: c, f: f, opt: opts}, nil
+}
+
+// Match is one search result.
+type Match struct {
+	// ID is the collection object ID.
+	ID int
+	// Similarity is the joint similarity to the query under the weights
+	// in effect.
+	Similarity float32
+}
+
+// SearchOptions configures one search; the zero value means K=10,
+// L=4·K, learned/index weights, Lemma 4 optimization on.
+type SearchOptions struct {
+	// K is the number of results (default 10).
+	K int
+	// L is the result-set size l of Algorithm 2 (default max(4K, 100));
+	// larger L trades speed for recall (Tab. XII).
+	L int
+	// Weights optionally overrides the index weights at query time — the
+	// user-defined weight preference of §VIII-F (Tab. IX). Must have one
+	// weight per modality; a zero weight skips that modality (§VII-B).
+	Weights Weights
+	// DisableOptimization turns off the Lemma 4 partial-IP early
+	// termination (used by the Fig. 10(c) ablation).
+	DisableOptimization bool
+	// Filter restricts results to objects it accepts — the hybrid
+	// vector-plus-constraint query setting of §III. Rejected objects
+	// still route; raise L when the filter is selective.
+	Filter func(id int) bool
+	// Patience enables adaptive early termination: stop routing after
+	// this many consecutive non-improving hops (0 = full Algorithm 2).
+	// Trades a little recall for latency.
+	Patience int
+}
+
+// Search returns the approximate top-K objects for the multimodal query.
+// A nil entry in the query marks a missing modality; pair it with a zero
+// weight override (or rely on learned weights for present modalities).
+func (ix *Index) Search(q Object, opts SearchOptions) ([]Match, error) {
+	if opts.K == 0 {
+		opts.K = 10
+	}
+	if opts.L == 0 {
+		opts.L = 4 * opts.K
+		if opts.L < 100 {
+			opts.L = 100
+		}
+	}
+	mv, err := ix.c.query(q)
+	if err != nil {
+		return nil, err
+	}
+	w := vec.Weights(ix.f.Weights)
+	if opts.Weights != nil {
+		if len(opts.Weights) != ix.c.Modalities() {
+			return nil, fmt.Errorf("must: %d override weights for %d modalities", len(opts.Weights), ix.c.Modalities())
+		}
+		w = vec.Weights(opts.Weights)
+	}
+	sOpts := []search.Option{search.WithOptimization(!opts.DisableOptimization)}
+	if ix.dead != nil {
+		sOpts = append(sOpts, search.WithTombstones(ix.dead))
+	}
+	if opts.Filter != nil {
+		sOpts = append(sOpts, search.WithFilter(opts.Filter))
+	}
+	if opts.Patience > 0 {
+		sOpts = append(sOpts, search.WithEarlyTermination(opts.Patience))
+	}
+	s := search.New(ix.f.Graph, ix.f.Objects, w, sOpts...)
+	res, _, err := s.Search(mv, opts.K, opts.L)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Match, len(res))
+	for i, r := range res {
+		out[i] = Match{ID: r.ID, Similarity: r.IP}
+	}
+	return out, nil
+}
+
+// Weights returns the weights the index was built with.
+func (ix *Index) Weights() Weights {
+	return append(Weights(nil), ix.f.Weights...)
+}
+
+// Delete tombstones an object (§IX of the paper): it is excluded from all
+// future results but keeps participating in graph routing, since removing
+// vertices can disconnect a proximity graph. The object is physically
+// dropped at the next rebuild. Delete is idempotent.
+func (ix *Index) Delete(id int) error {
+	n := ix.f.Graph.NumVertices()
+	if id < 0 || id >= n {
+		return fmt.Errorf("must: delete id %d out of range [0,%d)", id, n)
+	}
+	if len(ix.dead) < n {
+		grown := make([]bool, n)
+		copy(grown, ix.dead)
+		ix.dead = grown
+	}
+	ix.dead[id] = true
+	return nil
+}
+
+// Insert adds a new object to both the collection and the live index
+// using incremental linking (§IX dynamic updates): the object searches
+// for its own neighborhood and is wired in with MRNG-selected edges, the
+// scheme HNSW and Vamana use. Periodic rebuilds (Build) remain advisable
+// after many inserts and deletes, per the paper.
+func (ix *Index) Insert(o Object) (int, error) {
+	id, err := ix.c.Add(o)
+	if err != nil {
+		return 0, err
+	}
+	gid, err := ix.f.Insert(ix.c.objects[id], ix.opt.Gamma, 0)
+	if err != nil {
+		return 0, err
+	}
+	if gid != id {
+		return 0, fmt.Errorf("must: index/collection diverged: graph id %d, collection id %d", gid, id)
+	}
+	return id, nil
+}
+
+// Deleted reports how many objects are tombstoned. When this grows large
+// relative to the collection, rebuild the index (the paper's periodic
+// reconstruction, §IX).
+func (ix *Index) Deleted() int {
+	n := 0
+	for _, d := range ix.dead {
+		if d {
+			n++
+		}
+	}
+	return n
+}
+
+// Stats summarizes the built index.
+type Stats struct {
+	// Objects is the indexed object count.
+	Objects int
+	// Edges is the directed edge count of the proximity graph.
+	Edges int
+	// AvgDegree is the mean out-degree.
+	AvgDegree float64
+	// SizeBytes is the graph memory footprint.
+	SizeBytes int64
+	// BuildTime is the wall-clock construction time in nanoseconds.
+	BuildTime int64
+	// Algorithm names the construction pipeline.
+	Algorithm string
+}
+
+// Stats reports index statistics.
+func (ix *Index) Stats() Stats {
+	return Stats{
+		Objects:   ix.f.Graph.NumVertices(),
+		Edges:     ix.f.Graph.NumEdges(),
+		AvgDegree: ix.f.Graph.AvgDegree(),
+		SizeBytes: ix.f.SizeBytes(),
+		BuildTime: int64(ix.f.BuildTime),
+		Algorithm: ix.f.Pipeline,
+	}
+}
+
+// Save writes the index structure to a file; the collection itself is not
+// stored (persist your vectors separately and pass the same collection to
+// LoadIndex).
+func (ix *Index) Save(path string) error { return ix.f.Save(path) }
+
+// LoadIndex reads an index saved with Save and attaches it to the
+// collection it was built over.
+func LoadIndex(path string, c *Collection) (*Index, error) {
+	f, err := index.Load(path, c.objects)
+	if err != nil {
+		return nil, err
+	}
+	return &Index{c: c, f: f}, nil
+}
+
+// ExactSearch performs exhaustive exact retrieval (the paper's MUST--),
+// useful for ground truth and for small collections.
+func (c *Collection) ExactSearch(q Object, w Weights, k int) ([]Match, error) {
+	mv, err := c.query(q)
+	if err != nil {
+		return nil, err
+	}
+	if len(w) != c.Modalities() {
+		return nil, fmt.Errorf("must: %d weights for %d modalities", len(w), c.Modalities())
+	}
+	bf := &index.BruteForce{Objects: c.objects, Weights: vec.Weights(w)}
+	res := bf.TopK(mv, k)
+	out := make([]Match, len(res))
+	for i, r := range res {
+		out[i] = Match{ID: r.ID, Similarity: r.IP}
+	}
+	return out, nil
+}

@@ -1,0 +1,130 @@
+package must
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"must/internal/vec"
+)
+
+// Collection binary format, little-endian:
+//
+//	magic "MUSTCL1\n"
+//	m uint32, dims: m × uint32
+//	numObjects uint32
+//	objects: numObjects × (per modality: dim × float32)
+//
+// Pairs with Index.Save/LoadIndex so a built system can be persisted and
+// restored in full: save the collection and the index, load both, search.
+
+var clMagic = [8]byte{'M', 'U', 'S', 'T', 'C', 'L', '1', '\n'}
+
+// WriteCollection serializes c to w.
+func WriteCollection(w io.Writer, c *Collection) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := bw.Write(clMagic[:]); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(c.dims))); err != nil {
+		return err
+	}
+	for _, d := range c.dims {
+		if err := binary.Write(bw, binary.LittleEndian, uint32(d)); err != nil {
+			return err
+		}
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(c.objects))); err != nil {
+		return err
+	}
+	var buf [4]byte
+	for _, o := range c.objects {
+		for _, v := range o {
+			for _, x := range v {
+				binary.LittleEndian.PutUint32(buf[:], math.Float32bits(x))
+				if _, err := bw.Write(buf[:]); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadCollection deserializes a collection from r.
+func ReadCollection(r io.Reader) (*Collection, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	var got [8]byte
+	if _, err := io.ReadFull(br, got[:]); err != nil {
+		return nil, fmt.Errorf("must: reading collection magic: %w", err)
+	}
+	if got != clMagic {
+		return nil, fmt.Errorf("must: bad collection magic %q", got[:])
+	}
+	var m uint32
+	if err := binary.Read(br, binary.LittleEndian, &m); err != nil {
+		return nil, err
+	}
+	if m == 0 || m > 64 {
+		return nil, fmt.Errorf("must: unreasonable modality count %d", m)
+	}
+	dims := make([]int, m)
+	total := 0
+	for i := range dims {
+		var d uint32
+		if err := binary.Read(br, binary.LittleEndian, &d); err != nil {
+			return nil, err
+		}
+		if d == 0 || d > 1<<16 {
+			return nil, fmt.Errorf("must: unreasonable dim %d", d)
+		}
+		dims[i] = int(d)
+		total += int(d)
+	}
+	var n uint32
+	if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
+		return nil, err
+	}
+	c := NewCollection(dims...)
+	c.objects = make([]vec.Multi, 0, n)
+	for i := uint32(0); i < n; i++ {
+		flat := make([]float32, total)
+		if err := binary.Read(br, binary.LittleEndian, flat); err != nil {
+			return nil, fmt.Errorf("must: reading object %d: %w", i, err)
+		}
+		mv := make(vec.Multi, m)
+		off := 0
+		for j, d := range dims {
+			mv[j] = flat[off : off+d : off+d]
+			off += d
+		}
+		c.objects = append(c.objects, mv)
+	}
+	return c, nil
+}
+
+// SaveCollection writes c to the file at path.
+func SaveCollection(path string, c *Collection) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteCollection(f, c); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadCollection reads a collection from the file at path.
+func LoadCollection(path string) (*Collection, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadCollection(f)
+}

@@ -1,0 +1,147 @@
+package must
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+)
+
+func TestCollectionRoundTrip(t *testing.T) {
+	c, queries, _ := buildCorpus(t, 200, 5, 91)
+	var buf bytes.Buffer
+	if err := WriteCollection(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCollection(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != c.Len() || got.Modalities() != c.Modalities() {
+		t.Fatalf("shape mismatch: %d/%d vs %d/%d", got.Len(), got.Modalities(), c.Len(), c.Modalities())
+	}
+	for id := 0; id < c.Len(); id++ {
+		a, _ := c.Object(id)
+		b, _ := got.Object(id)
+		for i := range a {
+			for j := range a[i] {
+				if a[i][j] != b[i][j] {
+					t.Fatalf("object %d differs after round trip", id)
+				}
+			}
+		}
+	}
+	_ = queries
+}
+
+// Full persistence: save collection + index, load both, search identically.
+func TestFullPersistenceRoundTrip(t *testing.T) {
+	c, queries, _ := buildCorpus(t, 300, 10, 92)
+	ix, err := Build(c, c.UniformWeights(), BuildOptions{Gamma: 12, Seed: 93})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	cPath := filepath.Join(dir, "collection.bin")
+	iPath := filepath.Join(dir, "index.bin")
+	if err := SaveCollection(cPath, c); err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Save(iPath); err != nil {
+		t.Fatal(err)
+	}
+
+	c2, err := LoadCollection(cPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix2, err := LoadIndex(iPath, c2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range queries[:5] {
+		a, err := ix.Search(q, SearchOptions{K: 5, L: 100})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := ix2.Search(q, SearchOptions{K: 5, L: 100})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range a {
+			if a[i].ID != b[i].ID {
+				t.Fatal("restored system searches differently")
+			}
+		}
+	}
+}
+
+func TestReadCollectionRejectsGarbage(t *testing.T) {
+	if _, err := ReadCollection(bytes.NewReader([]byte("nonsense"))); err == nil {
+		t.Error("garbage did not error")
+	}
+	c, _, _ := buildCorpus(t, 50, 5, 94)
+	var buf bytes.Buffer
+	if err := WriteCollection(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()/3]
+	if _, err := ReadCollection(bytes.NewReader(trunc)); err == nil {
+		t.Error("truncated stream did not error")
+	}
+}
+
+func TestFilteredSearch(t *testing.T) {
+	c, queries, _ := buildCorpus(t, 300, 10, 95)
+	ix, err := Build(c, c.UniformWeights(), BuildOptions{Gamma: 12, Seed: 96})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Keep only even object IDs — the attribute-constraint analogue.
+	even := func(id int) bool { return id%2 == 0 }
+	for _, q := range queries {
+		ms, err := ix.Search(q, SearchOptions{K: 5, L: 200, Filter: even})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ms) == 0 {
+			t.Fatal("filtered search returned nothing")
+		}
+		for _, m := range ms {
+			if m.ID%2 != 0 {
+				t.Fatalf("filter violated: id %d", m.ID)
+			}
+		}
+	}
+}
+
+func TestEarlyTerminationTradeoff(t *testing.T) {
+	c, queries, truths := buildCorpus(t, 600, 20, 97)
+	ix, err := Build(c, c.UniformWeights(), BuildOptions{Gamma: 14, Seed: 98})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recall := func(patience int) float64 {
+		hits := 0
+		for i, q := range queries {
+			ms, err := ix.Search(q, SearchOptions{K: 5, L: 200, Patience: patience})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, m := range ms {
+				if m.ID == truths[i] {
+					hits++
+					break
+				}
+			}
+		}
+		return float64(hits) / float64(len(queries))
+	}
+	full := recall(0)
+	eager := recall(2)
+	if eager > full+1e-9 {
+		t.Errorf("early termination cannot beat full search: %v vs %v", eager, full)
+	}
+	if eager < full-0.3 {
+		t.Errorf("early termination lost too much recall: %v vs %v", eager, full)
+	}
+}
