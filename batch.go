@@ -61,6 +61,12 @@ func (ix *Index) SearchBatch(queries []Object, opts SearchOptions, workers int) 
 			if ix.dead != nil {
 				sOpts = append(sOpts, search.WithTombstones(ix.dead))
 			}
+			if opts.Filter != nil {
+				sOpts = append(sOpts, search.WithFilter(opts.Filter))
+			}
+			if opts.Patience > 0 {
+				sOpts = append(sOpts, search.WithEarlyTermination(opts.Patience))
+			}
 			s := search.New(ix.f.Graph, ix.f.Objects, w, sOpts...)
 			for i := wk; i < len(queries); i += workers {
 				res, _, err := s.Search(converted[i], opts.K, opts.L)

@@ -1,23 +1,25 @@
 // Command mustsearch demonstrates the full MUST pipeline on a dataset
 // file produced by mustgen (or a freshly generated one): it learns
-// modality weights, builds the fused index, and answers the dataset's own
-// query workload, printing per-query results against ground truth.
+// modality weights, builds the fused index through the Engine API, and
+// answers the dataset's own query workload with typed queries — printing
+// per-query results, per-modality similarity breakdowns, and recall
+// against ground truth. -timeout bounds each query via context deadline.
 //
 //	mustsearch -data celeba.bin -queries 5
 //	mustsearch -queries 3              # generates a small CelebA-like set
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
+	"must"
 	"must/internal/dataset"
 	"must/internal/experiments"
-	"must/internal/index"
 	"must/internal/metrics"
-	"must/internal/search"
 )
 
 func main() {
@@ -27,15 +29,27 @@ func main() {
 		k       = flag.Int("k", 5, "results per query")
 		beam    = flag.Int("beam", 200, "search beam width l")
 		gamma   = flag.Int("gamma", 30, "graph degree bound γ")
+		timeout = flag.Duration("timeout", 0, "per-query deadline (0 = none)")
 	)
 	flag.Parse()
-	if err := run(*data, *queries, *k, *beam, *gamma); err != nil {
+	if err := run(*data, *queries, *k, *beam, *gamma, *timeout); err != nil {
 		fmt.Fprintf(os.Stderr, "mustsearch: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(path string, nq, k, beam, gamma int) error {
+// modalityNames labels the dataset's positional modalities for the
+// Engine schema: modality 0 is the target, the rest are auxiliary.
+func modalityNames(m int) []string {
+	names := make([]string, m)
+	names[0] = "target"
+	for i := 1; i < m; i++ {
+		names[i] = fmt.Sprintf("aux%d", i)
+	}
+	return names
+}
+
+func run(path string, nq, k, beam, gamma int, timeout time.Duration) error {
 	var enc *dataset.Encoded
 	if path == "" {
 		fmt.Println("no -data given; generating a small CelebA-like demo dataset...")
@@ -55,8 +69,9 @@ func run(path string, nq, k, beam, gamma int) error {
 		}
 		enc = e
 	}
-	fmt.Printf("dataset %s (%s): %d objects, %d queries, %d modalities\n",
-		enc.Name, enc.EncoderLabel, len(enc.Objects), len(enc.Queries), enc.M)
+	names := modalityNames(enc.M)
+	fmt.Printf("dataset %s (%s): %d objects, %d queries, modalities %v\n",
+		enc.Name, enc.EncoderLabel, len(enc.Objects), len(enc.Queries), names)
 
 	w, err := experiments.LearnWeightsAuto(enc, experiments.Options{Seed: 7})
 	if err != nil {
@@ -71,38 +86,72 @@ func run(path string, nq, k, beam, gamma int) error {
 	}
 	fmt.Println("]")
 
+	schema := make(must.Schema, enc.M)
+	for i := range schema {
+		schema[i] = must.Modality{Name: names[i], Dim: enc.Dims[i]}
+	}
+	engine, err := must.NewEngine(schema, must.EngineOptions{
+		Weights: must.Weights(w),
+		Build:   must.BuildOptions{Gamma: gamma, Seed: 7},
+	})
+	if err != nil {
+		return err
+	}
+	for _, o := range enc.Objects {
+		if _, err := engine.InsertObject(must.Object(o)); err != nil {
+			return err
+		}
+	}
 	start := time.Now()
-	opt := experiments.Options{Gamma: gamma, Seed: 7}
-	fused, err := index.BuildFused(enc.Objects, w, opt.Pipeline("MUST"))
+	if err := engine.Build(); err != nil {
+		return err
+	}
+	st, err := engine.Stats()
 	if err != nil {
 		return err
 	}
 	fmt.Printf("fused index built in %v (%d edges, %.1f avg degree)\n",
-		time.Since(start).Round(time.Millisecond), fused.Graph.NumEdges(), fused.Graph.AvgDegree())
+		time.Since(start).Round(time.Millisecond), st.Edges, st.AvgDegree)
 
-	s := fused.NewSearcher()
 	if nq > len(enc.Queries) {
 		nq = len(enc.Queries)
 	}
 	var recall float64
 	for qi := 0; qi < nq; qi++ {
 		q := enc.Queries[qi]
-		t0 := time.Now()
-		res, stats, err := s.Search(q.Vectors, k, beam)
+		vectors := make(must.NamedVectors, enc.M)
+		for i, v := range q.Vectors {
+			vectors[names[i]] = v
+		}
+		ctx := context.Background()
+		cancel := context.CancelFunc(func() {})
+		if timeout > 0 {
+			ctx, cancel = context.WithTimeout(ctx, timeout)
+		}
+		resp, err := engine.Search(ctx, must.Query{Vectors: vectors, K: k, L: beam})
+		cancel()
 		if err != nil {
 			return err
 		}
-		lat := time.Since(t0)
-		fmt.Printf("query #%d (%v, %d hops, %d evals):\n", qi, lat.Round(time.Microsecond), stats.Hops, stats.FullEvals)
-		ids := search.IDs(res)
-		for rank, r := range res {
+		fmt.Printf("query #%d (%v, %d hops, %d evals):\n",
+			qi, resp.Latency.Round(time.Microsecond), resp.Stats.Hops, resp.Stats.FullEvals)
+		ids := make([]int, len(resp.Matches))
+		for rank, m := range resp.Matches {
+			ids[rank] = int(m.ID)
 			mark := " "
 			for _, gt := range q.GroundTruth {
-				if gt == r.ID {
+				if int64(gt) == m.ID {
 					mark = "*"
 				}
 			}
-			fmt.Printf("  %d.%s obj#%-7d joint-sim=%.4f\n", rank+1, mark, r.ID, r.IP)
+			fmt.Printf("  %d.%s obj#%-7d joint-sim=%.4f  [", rank+1, mark, m.ID, m.Similarity)
+			for i, name := range names {
+				if i > 0 {
+					fmt.Print(" ")
+				}
+				fmt.Printf("%s=%.4f", name, m.ByModality[name])
+			}
+			fmt.Println("]")
 		}
 		if len(q.GroundTruth) > 0 {
 			recall += metrics.Recall(ids, q.GroundTruth)

@@ -1,0 +1,597 @@
+package must
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"must/internal/index"
+	"must/internal/search"
+	"must/internal/vec"
+)
+
+// defaultWorkers caps a batch's default concurrency at GOMAXPROCS.
+func defaultWorkers(n int) int {
+	w := runtime.GOMAXPROCS(0)
+	if w > n {
+		w = n
+	}
+	return w
+}
+
+// ErrNotBuilt is returned by Engine operations that need a built index.
+var ErrNotBuilt = errors.New("must: engine index not built (call Build first)")
+
+// EngineOptions configures NewEngine; the zero value means uniform
+// weights and the default build parameters (γ=30, ε=3, AlgoOurs).
+type EngineOptions struct {
+	// Weights are the initial per-modality weights ω in schema order;
+	// nil means uniform. LearnWeights or SetWeights replace them later.
+	Weights Weights
+	// Build configures graph construction for Build and Rebuild.
+	Build BuildOptions
+}
+
+// Engine is the recommended high-level entry point: a schema-typed,
+// concurrency-safe multimodal search engine built on the low-level
+// Collection/Index layer.
+//
+// Unlike Collection/Index, an Engine is safe for concurrent use: Search
+// calls run in parallel with each other (each borrows a searcher from an
+// internal pool), and Insert, Delete, SetWeights, and Rebuild may be
+// called from other goroutines at any time. Mutations take a write lock,
+// so they briefly block searches; Rebuild does its graph construction
+// off-lock and only blocks to swap the new graph in.
+//
+// Object IDs handed out by Insert are stable for the lifetime of the
+// Engine, across Rebuild compactions included.
+type Engine struct {
+	schema Schema
+	byName map[string]int
+
+	// rebuildMu serializes Build/Rebuild so two rebuilds cannot
+	// interleave their snapshot/swap phases.
+	rebuildMu sync.Mutex
+
+	mu        sync.RWMutex
+	c         *Collection
+	ix        *Index // nil until Build
+	weights   Weights
+	build     BuildOptions
+	ids       []int64       // ids[internal slot] = engine ID
+	lookup    map[int64]int // engine ID -> internal slot
+	nextID    int64
+	searchers *sync.Pool // *search.Searcher over the current graph
+}
+
+// NewEngine creates an empty engine with the given schema. Schema[0] is
+// the target modality.
+func NewEngine(schema Schema, opts EngineOptions) (*Engine, error) {
+	if err := schema.Validate(); err != nil {
+		return nil, err
+	}
+	sc := append(Schema(nil), schema...)
+	w := opts.Weights
+	if w == nil {
+		w = vec.Uniform(len(sc))
+	} else if len(w) != len(sc) {
+		return nil, fmt.Errorf("must: %d weights for %d modalities", len(w), len(sc))
+	}
+	c := NewCollection(sc.Dims()...)
+	c.names = sc.Names()
+	e := &Engine{
+		schema:  sc,
+		byName:  make(map[string]int, len(sc)),
+		c:       c,
+		weights: append(Weights(nil), w...),
+		build:   opts.Build,
+		lookup:  make(map[int64]int),
+	}
+	for i, m := range sc {
+		e.byName[m.Name] = i
+	}
+	return e, nil
+}
+
+// Schema returns a copy of the engine's schema.
+func (e *Engine) Schema() Schema { return append(Schema(nil), e.schema...) }
+
+// positional converts named vectors to the schema's positional layout,
+// requiring every modality to be present (corpus objects carry all
+// modalities; only queries may omit some).
+func (e *Engine) positional(v NamedVectors) (Object, error) {
+	o := make(Object, len(e.schema))
+	for name, emb := range v {
+		i, ok := e.byName[name]
+		if !ok {
+			return nil, fmt.Errorf("must: unknown modality %q (schema has %v)", name, e.schema.Names())
+		}
+		o[i] = emb
+	}
+	for i, m := range e.schema {
+		if o[i] == nil {
+			return nil, fmt.Errorf("must: object missing modality %q (objects must carry every modality; only queries may omit)", m.Name)
+		}
+	}
+	return o, nil
+}
+
+// Insert adds an object and returns its stable engine ID. Before Build it
+// only accumulates into the collection; after Build it also links the
+// object into the live graph incrementally (§IX dynamic updates).
+func (e *Engine) Insert(v NamedVectors) (int64, error) {
+	o, err := e.positional(v)
+	if err != nil {
+		return 0, err
+	}
+	return e.InsertObject(o)
+}
+
+// InsertObject is Insert with vectors already in schema order — the
+// bulk-loading fast path that avoids building a map per object.
+func (e *Engine) InsertObject(o Object) (int64, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var (
+		slot int
+		err  error
+	)
+	if e.ix == nil {
+		slot, err = e.c.Add(o)
+	} else {
+		slot, err = e.ix.Insert(o)
+	}
+	if err != nil {
+		return 0, err
+	}
+	id := e.nextID
+	e.nextID++
+	e.ids = append(e.ids, id)
+	e.lookup[id] = slot
+	if e.ix != nil {
+		// The graph and object slice grew; pooled searchers sized to the
+		// old vertex count must not be reused.
+		e.resetSearchersLocked()
+	}
+	return id, nil
+}
+
+// Delete tombstones an object by engine ID (§IX): excluded from all
+// future results, still routing until the next Rebuild. Requires a built
+// index.
+func (e *Engine) Delete(id int64) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.ix == nil {
+		return ErrNotBuilt
+	}
+	slot, ok := e.lookup[id]
+	if !ok {
+		return fmt.Errorf("must: unknown object id %d", id)
+	}
+	return e.ix.Delete(slot)
+}
+
+// Len returns the number of live (non-tombstoned) objects.
+func (e *Engine) Len() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	n := e.c.Len()
+	if e.ix != nil {
+		n -= e.ix.Deleted()
+	}
+	return n
+}
+
+// Deleted returns the number of tombstoned objects awaiting Rebuild.
+func (e *Engine) Deleted() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.ix == nil {
+		return 0
+	}
+	return e.ix.Deleted()
+}
+
+// Object returns a copy of a stored object's vectors by modality name.
+func (e *Engine) Object(id int64) (NamedVectors, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	slot, ok := e.lookup[id]
+	if !ok {
+		return nil, fmt.Errorf("must: unknown object id %d", id)
+	}
+	out := make(NamedVectors, len(e.schema))
+	for i, m := range e.schema {
+		out[m.Name] = vec.Clone(e.c.objects[slot][i])
+	}
+	return out, nil
+}
+
+// Weights returns the engine's current per-modality weights in schema
+// order.
+func (e *Engine) Weights() Weights {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return append(Weights(nil), e.weights...)
+}
+
+// SetWeights replaces the engine's per-modality weights (schema order).
+// New searches use them immediately for scoring; the graph keeps routing
+// under the weights it was built with until the next Rebuild, which is
+// exactly the user-defined-weights setting of §VIII-F and loses little
+// recall (Tab. IX). Rebuild to re-optimize routing for the new weights.
+func (e *Engine) SetWeights(w Weights) error {
+	if len(w) != len(e.schema) {
+		return fmt.Errorf("must: %d weights for %d modalities", len(w), len(e.schema))
+	}
+	for i, x := range w {
+		if err := checkFinite([]float32{x}); err != nil {
+			return fmt.Errorf("must: weight %d: %w", i, err)
+		}
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.weights = append(Weights(nil), w...)
+	return nil
+}
+
+// LearnWeights fits modality weights from training pairs (§VI): the true
+// answer of queries[i] is the object with engine ID positives[i]. The
+// learned weights are stored on the engine and returned. Training runs on
+// a snapshot, off-lock, so it can overlap serving.
+func (e *Engine) LearnWeights(queries []NamedVectors, positives []int64, cfg WeightConfig) (Weights, error) {
+	if len(queries) != len(positives) {
+		return nil, fmt.Errorf("must: %d queries but %d positives", len(queries), len(positives))
+	}
+	posQueries := make([]Object, len(queries))
+	for i, q := range queries {
+		o := make(Object, len(e.schema))
+		for name, v := range q {
+			j, ok := e.byName[name]
+			if !ok {
+				return nil, fmt.Errorf("must: training query %d: unknown modality %q", i, name)
+			}
+			o[j] = v
+		}
+		posQueries[i] = o
+	}
+	e.mu.RLock()
+	snap := &Collection{dims: e.c.dims, objects: append([]vec.Multi(nil), e.c.objects...)}
+	internal := make([]int, len(positives))
+	for i, id := range positives {
+		slot, ok := e.lookup[id]
+		if !ok {
+			e.mu.RUnlock()
+			return nil, fmt.Errorf("must: positive %d: unknown object id %d", i, id)
+		}
+		internal[i] = slot
+	}
+	e.mu.RUnlock()
+	w, err := LearnWeights(snap, posQueries, internal, cfg)
+	if err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	e.weights = append(Weights(nil), w...)
+	e.mu.Unlock()
+	return w, nil
+}
+
+// Build constructs the fused index over everything inserted so far. It
+// must be called once before Search; after that, use Rebuild to compact
+// and re-optimize. Build holds the write lock for the duration.
+func (e *Engine) Build() error {
+	e.rebuildMu.Lock()
+	defer e.rebuildMu.Unlock()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.ix != nil {
+		return fmt.Errorf("must: engine already built; use Rebuild")
+	}
+	ix, err := Build(e.c, e.weights, e.build)
+	if err != nil {
+		return err
+	}
+	e.ix = ix
+	e.resetSearchersLocked()
+	return nil
+}
+
+// Rebuild reconstructs the graph from scratch: tombstoned objects are
+// physically dropped (the paper's periodic reconstruction, §IX), the
+// current engine weights become the build weights, and the new graph is
+// swapped in atomically. Construction happens on a snapshot without
+// blocking concurrent Search/Insert/Delete; inserts and deletes that land
+// during construction are replayed before the swap. Engine IDs are
+// preserved.
+func (e *Engine) Rebuild() error {
+	e.rebuildMu.Lock()
+	defer e.rebuildMu.Unlock()
+
+	e.mu.RLock()
+	if e.ix == nil {
+		e.mu.RUnlock()
+		return ErrNotBuilt
+	}
+	snapLen := e.c.Len()
+	dead := e.ix.dead
+	aliveObjs := make([]vec.Multi, 0, snapLen)
+	aliveIDs := make([]int64, 0, snapLen)
+	for i := 0; i < snapLen; i++ {
+		if i < len(dead) && dead[i] {
+			continue
+		}
+		aliveObjs = append(aliveObjs, e.c.objects[i])
+		aliveIDs = append(aliveIDs, e.ids[i])
+	}
+	w := append(Weights(nil), e.weights...)
+	bo := e.build
+	e.mu.RUnlock()
+
+	if len(aliveObjs) == 0 {
+		return fmt.Errorf("must: rebuild would leave the engine empty (all %d objects deleted)", snapLen)
+	}
+	newC := &Collection{dims: append([]int(nil), e.c.dims...), names: e.schema.Names(), objects: aliveObjs}
+	newIx, err := Build(newC, w, bo)
+	if err != nil {
+		return err
+	}
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	// Replay inserts that landed while the graph was building.
+	for i := snapLen; i < e.c.Len(); i++ {
+		if _, err := newIx.Insert(Object(e.c.objects[i])); err != nil {
+			return fmt.Errorf("must: rebuild replay of object %d: %w", e.ids[i], err)
+		}
+		aliveIDs = append(aliveIDs, e.ids[i])
+	}
+	newLookup := make(map[int64]int, len(aliveIDs))
+	for slot, id := range aliveIDs {
+		newLookup[id] = slot
+	}
+	// Replay deletes that landed while the graph was building (including
+	// deletes of just-replayed inserts).
+	for i, id := range e.ids {
+		if i < len(e.ix.dead) && e.ix.dead[i] {
+			if slot, ok := newLookup[id]; ok {
+				if err := newIx.Delete(slot); err != nil {
+					return fmt.Errorf("must: rebuild replay of delete %d: %w", id, err)
+				}
+			}
+		}
+	}
+	e.c = newC
+	e.ix = newIx
+	e.ids = aliveIDs
+	e.lookup = newLookup
+	e.resetSearchersLocked()
+	return nil
+}
+
+// resetSearchersLocked replaces the searcher pool after any change to the
+// graph topology or object slice. Callers must hold the write lock.
+func (e *Engine) resetSearchersLocked() {
+	f := e.ix.f
+	e.searchers = &sync.Pool{New: func() any {
+		return search.New(f.Graph, f.Objects, f.Weights)
+	}}
+}
+
+// convertLocked validates a query against the schema and produces the
+// positional multi-vector plus the effective per-modality weights.
+// Callers must hold at least the read lock.
+func (e *Engine) convertLocked(q Query) (vec.Multi, Weights, error) {
+	pos := make(Object, len(e.schema))
+	for name, v := range q.Vectors {
+		i, ok := e.byName[name]
+		if !ok {
+			return nil, nil, fmt.Errorf("must: query names unknown modality %q (schema has %v)", name, e.schema.Names())
+		}
+		pos[i] = v
+	}
+	mv, err := e.c.query(pos)
+	if err != nil {
+		return nil, nil, err
+	}
+	w := append(Weights(nil), e.weights...)
+	for name, x := range q.Weights {
+		i, ok := e.byName[name]
+		if !ok {
+			return nil, nil, fmt.Errorf("must: weight override names unknown modality %q (schema has %v)", name, e.schema.Names())
+		}
+		if err := checkFinite([]float32{x}); err != nil {
+			return nil, nil, fmt.Errorf("must: weight override for %q: %w", name, err)
+		}
+		w[i] = x
+	}
+	active := false
+	for i := range w {
+		if pos[i] == nil {
+			// Missing query modality: force ω_i = 0 (§VII-B) so it
+			// neither scores nor steers routing.
+			w[i] = 0
+		}
+		if w[i] != 0 {
+			active = true
+		}
+	}
+	if !active {
+		return nil, nil, fmt.Errorf("must: query has no active modalities (every modality is missing or zero-weighted)")
+	}
+	return mv, w, nil
+}
+
+// Search answers one typed query. It is safe to call from any number of
+// goroutines; ctx cancels or time-bounds the routing loop. Results carry
+// per-modality similarity breakdowns and routing statistics.
+func (e *Engine) Search(ctx context.Context, q Query) (*Response, error) {
+	start := time.Now()
+	k := q.K
+	if k == 0 {
+		k = 10
+	}
+	l := q.L
+	if l == 0 {
+		l = 4 * k
+		if l < 100 {
+			l = 100
+		}
+	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.ix == nil {
+		return nil, ErrNotBuilt
+	}
+	mv, w, err := e.convertLocked(q)
+	if err != nil {
+		return nil, err
+	}
+	var filter func(int) bool
+	if q.Filter != nil {
+		ids := e.ids
+		filter = func(slot int) bool { return q.Filter(ids[slot]) }
+	}
+	pool := e.searchers
+	s := pool.Get().(*search.Searcher)
+	res, st, err := s.SearchParams(mv, search.Params{
+		K:          k,
+		L:          l,
+		Weights:    vec.Weights(w),
+		Filter:     filter,
+		Tombstones: e.ix.dead,
+		Patience:   q.Patience,
+		Optimize:   !q.DisableOptimization,
+		Breakdown:  true,
+		Ctx:        ctx,
+	})
+	pool.Put(s)
+	if err != nil {
+		return nil, err
+	}
+	matches := make([]ScoredMatch, len(res))
+	for i, r := range res {
+		by := make(map[string]float32, len(e.schema))
+		for j, m := range e.schema {
+			if j < len(r.PerModality) {
+				by[m.Name] = r.PerModality[j]
+			}
+		}
+		matches[i] = ScoredMatch{ID: e.ids[r.ID], Similarity: r.IP, ByModality: by}
+	}
+	return &Response{
+		Matches: matches,
+		Stats:   SearchStats{FullEvals: st.FullEvals, PartialSkips: st.PartialSkips, Hops: st.Hops},
+		Latency: time.Since(start),
+	}, nil
+}
+
+// ExactSearch answers one typed query by exhaustive scan (the paper's
+// MUST--): exact results for ground truth or small corpora. Unlike
+// Search it works before Build; tombstones and Query.Filter are
+// honored, Patience/L/DisableOptimization are ignored.
+func (e *Engine) ExactSearch(ctx context.Context, q Query) (*Response, error) {
+	start := time.Now()
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("must: %w", err)
+		}
+	}
+	k := q.K
+	if k == 0 {
+		k = 10
+	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	mv, w, err := e.convertLocked(q)
+	if err != nil {
+		return nil, err
+	}
+	var dead []bool
+	if e.ix != nil {
+		dead = e.ix.dead
+	}
+	ids := e.ids
+	// evals counts the objects actually scored; TopKFiltered calls keep
+	// sequentially, so a plain counter is safe.
+	evals := 0
+	keep := func(slot int) bool {
+		if slot < len(dead) && dead[slot] {
+			return false
+		}
+		if q.Filter != nil && !q.Filter(ids[slot]) {
+			return false
+		}
+		evals++
+		return true
+	}
+	bf := &index.BruteForce{Objects: e.c.objects, Weights: vec.Weights(w)}
+	res := bf.TopKFiltered(mv, k, keep)
+	matches := make([]ScoredMatch, len(res))
+	for i, r := range res {
+		per := search.Breakdown(vec.Weights(w), mv, e.c.objects[r.ID])
+		by := make(map[string]float32, len(e.schema))
+		for j, m := range e.schema {
+			by[m.Name] = per[j]
+		}
+		matches[i] = ScoredMatch{ID: ids[r.ID], Similarity: r.IP, ByModality: by}
+	}
+	return &Response{
+		Matches: matches,
+		Stats:   SearchStats{FullEvals: evals},
+		Latency: time.Since(start),
+	}, nil
+}
+
+// SearchBatch answers many queries concurrently and returns responses
+// aligned with the queries slice. workers ≤ 0 uses one worker per query
+// up to GOMAXPROCS. The first error aborts the batch.
+func (e *Engine) SearchBatch(ctx context.Context, queries []Query, workers int) ([]*Response, error) {
+	if len(queries) == 0 {
+		return nil, nil
+	}
+	if workers <= 0 {
+		workers = defaultWorkers(len(queries))
+	}
+	if workers > len(queries) {
+		workers = len(queries)
+	}
+	out := make([]*Response, len(queries))
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for wk := 0; wk < workers; wk++ {
+		go func(wk int) {
+			defer wg.Done()
+			for i := wk; i < len(queries); i += workers {
+				r, err := e.Search(ctx, queries[i])
+				if err != nil {
+					errs[wk] = fmt.Errorf("must: batch query %d: %w", i, err)
+					return
+				}
+				out[i] = r
+			}
+		}(wk)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Stats reports statistics of the engine's current index.
+func (e *Engine) Stats() (Stats, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.ix == nil {
+		return Stats{}, ErrNotBuilt
+	}
+	return e.ix.Stats(), nil
+}

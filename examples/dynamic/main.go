@@ -1,14 +1,16 @@
 // Dynamic demonstrates the §IX index-maintenance features on a live
-// index: incremental insertion (HNSW/Vamana-style neighbor search +
+// Engine: incremental insertion (HNSW/Vamana-style neighbor search +
 // linking), tombstone deletion (excluded from results, kept for routing),
-// filtered search (the §III hybrid-query setting), and the iterative
-// refinement loop (reuse a returned result as the next query's target
-// reference).
+// filtered search (the §III hybrid-query setting), iterative refinement
+// (reuse a returned result as the next query's target reference), early
+// termination, and an explicit Rebuild that compacts tombstones while
+// preserving object IDs — all safe under concurrent use.
 //
 //	go run ./examples/dynamic
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -23,79 +25,115 @@ const (
 
 func main() {
 	rng := rand.New(rand.NewSource(7))
-	c := must.NewCollection(imageDim, textDim)
+	engine, err := must.NewEngine(must.Schema{
+		{Name: "image", Dim: imageDim},
+		{Name: "text", Dim: textDim},
+	}, must.EngineOptions{Build: must.BuildOptions{Gamma: 16, Seed: 1}})
+	if err != nil {
+		log.Fatal(err)
+	}
 	for i := 0; i < 2000; i++ {
-		if _, err := c.Add(must.Object{randVec(rng, imageDim), randVec(rng, textDim)}); err != nil {
+		if _, err := engine.Insert(must.NamedVectors{
+			"image": randVec(rng, imageDim),
+			"text":  randVec(rng, textDim),
+		}); err != nil {
 			log.Fatal(err)
 		}
 	}
-	ix, err := must.Build(c, c.UniformWeights(), must.BuildOptions{Gamma: 16, Seed: 1})
-	if err != nil {
+	if err := engine.Build(); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("built index over %d objects\n", ix.Stats().Objects)
+	fmt.Printf("built engine over %d objects\n", engine.Len())
+	ctx := context.Background()
 
-	// 1. Incremental insert: a brand-new product appears.
+	// 1. Incremental insert: a brand-new product appears on the live index.
 	img := randVec(rng, imageDim)
 	txt := randVec(rng, textDim)
-	newID, err := ix.Insert(must.Object{img, txt})
+	newID, err := engine.Insert(must.NamedVectors{"image": img, "text": txt})
 	if err != nil {
 		log.Fatal(err)
 	}
-	q := must.Object{perturb(rng, img, 0.05), perturb(rng, txt, 0.05)}
-	ms, err := ix.Search(q, must.SearchOptions{K: 3, L: 150})
+	q := must.Query{
+		Vectors: must.NamedVectors{
+			"image": perturb(rng, img, 0.05),
+			"text":  perturb(rng, txt, 0.05),
+		},
+		K: 3, L: 150,
+	}
+	resp, err := engine.Search(ctx, q)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("inserted object %d; query for it returns top-1 = %d (sim %.3f)\n",
-		newID, ms[0].ID, ms[0].Similarity)
+		newID, resp.Matches[0].ID, resp.Matches[0].Similarity)
 
 	// 2. Tombstone deletion: the product is discontinued.
-	if err := ix.Delete(newID); err != nil {
+	if err := engine.Delete(newID); err != nil {
 		log.Fatal(err)
 	}
-	ms, err = ix.Search(q, must.SearchOptions{K: 3, L: 150})
+	resp, err = engine.Search(ctx, q)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("after Delete(%d): top-1 = %d (deleted objects keep routing, never surface)\n",
-		newID, ms[0].ID)
+		newID, resp.Matches[0].ID)
 
 	// 3. Filtered search: only even IDs qualify (an attribute predicate).
-	ms, err = ix.Search(q, must.SearchOptions{K: 5, L: 200, Filter: func(id int) bool { return id%2 == 0 }})
+	filtered := q
+	filtered.K, filtered.L = 5, 200
+	filtered.Filter = func(id int64) bool { return id%2 == 0 }
+	resp, err = engine.Search(ctx, filtered)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Print("hybrid query (id%2==0):")
-	for _, m := range ms {
+	for _, m := range resp.Matches {
 		fmt.Printf(" %d", m.ID)
 	}
 	fmt.Println()
 
 	// 4. Iterative refinement: take the current best, keep its look,
 	// change the wish (§IX single-modality interaction loop).
-	picked := ms[0].ID
-	refined, err := ix.QueryFromObject(picked, must.Object{nil, randVec(rng, textDim)})
+	picked := resp.Matches[0].ID
+	liked, err := engine.Object(picked)
 	if err != nil {
 		log.Fatal(err)
 	}
-	ms, err = ix.Search(refined, must.SearchOptions{K: 3, L: 150})
+	resp, err = engine.Search(ctx, must.Query{
+		Vectors: must.NamedVectors{
+			"image": liked["image"],        // keep the returned look
+			"text":  randVec(rng, textDim), // new wish
+		},
+		K: 3, L: 150,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("refined around object %d with a new text wish: top-3 =", picked)
-	for _, m := range ms {
+	for _, m := range resp.Matches {
 		fmt.Printf(" %d", m.ID)
 	}
 	fmt.Println()
 
 	// 5. Early termination: trade a little recall for latency.
-	fast, err := ix.Search(q, must.SearchOptions{K: 3, L: 400, Patience: 3})
+	fast := q
+	fast.L, fast.Patience = 400, 3
+	resp, err = engine.Search(ctx, fast)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("early-terminated search still returns %d results (top sim %.3f)\n",
-		len(fast), fast[0].Similarity)
+		len(resp.Matches), resp.Matches[0].Similarity)
+
+	// 6. Rebuild: compact the tombstones away; IDs are preserved.
+	if err := engine.Rebuild(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after Rebuild: %d live objects, %d tombstones, object %d still addressable: %v\n",
+		engine.Len(), engine.Deleted(), picked, func() bool {
+			_, err := engine.Object(picked)
+			return err == nil
+		}())
 }
 
 func randVec(rng *rand.Rand, dim int) []float32 {

@@ -2,12 +2,16 @@
 // Tab. IX) on a Shopping-like product corpus: the same "reference product
 // + attribute replacement" query returns visually-faithful results when
 // the image modality is upweighted and attribute-faithful results when
-// the text modality is upweighted.
+// the text modality is upweighted. Per-query preferences are expressed
+// through the Engine's named weight overrides, and the per-modality
+// similarity breakdown on each match makes the trade-off directly
+// observable — no need to recompute dot products by hand.
 //
 //	go run ./examples/ecommerce
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -15,7 +19,6 @@ import (
 	"must"
 	"must/internal/dataset"
 	"must/internal/encoder"
-	"must/internal/vec"
 )
 
 func main() {
@@ -30,37 +33,53 @@ func main() {
 	enc := dataset.MustEncode(raw, set)
 	fmt.Printf("catalogue: %d products (%s)\n", len(enc.Objects), enc.EncoderLabel)
 
-	c := must.NewCollection(enc.Dims...)
+	engine, err := must.NewEngine(must.Schema{
+		{Name: "image", Dim: enc.Dims[0]},
+		{Name: "text", Dim: enc.Dims[1]},
+	}, must.EngineOptions{Build: must.BuildOptions{Gamma: 24, Seed: 2}})
+	if err != nil {
+		log.Fatal(err)
+	}
 	for _, o := range enc.Objects {
-		if _, err := c.Add(must.Object(o)); err != nil {
+		if _, err := engine.InsertObject(must.Object(o)); err != nil {
 			log.Fatal(err)
 		}
 	}
-
 	// Build one index under balanced weights; shoppers then express
-	// preferences per query via SearchOptions.Weights.
-	ix, err := must.Build(c, c.UniformWeights(), must.BuildOptions{Gamma: 24, Seed: 2})
-	if err != nil {
+	// preferences per query via Query.Weights.
+	if err := engine.Build(); err != nil {
 		log.Fatal(err)
 	}
 
 	qIdx := 42
 	q := enc.Queries[qIdx]
 	fmt.Printf("\nquery #%d: reference product + \"replace fabric/color\" edit\n", qIdx)
-	fmt.Println("ω0²(image)  ω1²(text)   mean image-sim   mean text-sim   (of top-5 results)")
+	fmt.Println("ω0²(image)  ω1²(text)   mean image contrib   mean text contrib   (of top-5)")
+	ctx := context.Background()
 	for _, w0sq := range []float64{0.1, 0.3, 0.5, 0.7, 0.9} {
-		w := must.Weights{float32(math.Sqrt(w0sq)), float32(math.Sqrt(1 - w0sq))}
-		matches, err := ix.Search(must.Object(q.Vectors), must.SearchOptions{K: 5, L: 300, Weights: w})
+		resp, err := engine.Search(ctx, must.Query{
+			Vectors: must.NamedVectors{
+				"image": q.Vectors[0],
+				"text":  q.Vectors[1],
+			},
+			K: 5, L: 300,
+			Weights: map[string]float32{
+				"image": float32(math.Sqrt(w0sq)),
+				"text":  float32(math.Sqrt(1 - w0sq)),
+			},
+		})
 		if err != nil {
 			log.Fatal(err)
 		}
 		var imgSim, txtSim float64
-		for _, m := range matches {
-			imgSim += float64(vec.Dot(q.Vectors[0], enc.Objects[m.ID][0]))
-			txtSim += float64(vec.Dot(q.Vectors[1], enc.Objects[m.ID][1]))
+		for _, m := range resp.Matches {
+			// Normalize the per-modality contribution ω_i²·IP_i back to
+			// the raw similarity IP_i for comparison across weightings.
+			imgSim += float64(m.ByModality["image"]) / w0sq
+			txtSim += float64(m.ByModality["text"]) / (1 - w0sq)
 		}
-		n := float64(len(matches))
-		fmt.Printf("   %.1f         %.1f       %10.4f       %10.4f\n", w0sq, 1-w0sq, imgSim/n, txtSim/n)
+		n := float64(len(resp.Matches))
+		fmt.Printf("   %.1f         %.1f       %12.4f       %12.4f\n", w0sq, 1-w0sq, imgSim/n, txtSim/n)
 	}
 	fmt.Println("\nRaising the image weight pulls results toward the reference look;")
 	fmt.Println("raising the text weight pulls them toward the requested attributes —")

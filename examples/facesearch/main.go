@@ -1,13 +1,15 @@
 // Facesearch recreates the paper's Fig. 3 scenario: retrieve a face that
 // matches a reference photo *after* applying an attribute edit described
 // in text ("no glasses and hat"). It uses the CelebA-like simulated
-// dataset and encoders, learns modality weights, and contrasts MUST's
-// joint search against what each single modality would return.
+// dataset and encoders, learns modality weights through the Engine, and
+// contrasts MUST's joint search against what each single modality would
+// return — using named weight overrides instead of positional vectors.
 //
 //	go run ./examples/facesearch
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -31,44 +33,53 @@ func main() {
 	enc := dataset.MustEncode(raw, set)
 	fmt.Printf("corpus: %d faces with %d modalities (%s)\n", len(enc.Objects), enc.M, enc.EncoderLabel)
 
-	// Move the encoded vectors into the public API collection.
-	c := must.NewCollection(enc.Dims...)
+	engine, err := must.NewEngine(must.Schema{
+		{Name: "face", Dim: enc.Dims[0]},
+		{Name: "attrs", Dim: enc.Dims[1]},
+	}, must.EngineOptions{Build: must.BuildOptions{Gamma: 24, Seed: 2}})
+	if err != nil {
+		log.Fatal(err)
+	}
 	for _, o := range enc.Objects {
-		if _, err := c.Add(must.Object(o)); err != nil {
+		if _, err := engine.InsertObject(must.Object(o)); err != nil {
 			log.Fatal(err)
 		}
 	}
 
 	// Learn weights from the first 150 workload queries.
-	var trainQ []must.Object
-	var trainPos []int
+	var trainQ []must.NamedVectors
+	var trainPos []int64
 	for _, q := range enc.Queries[:150] {
-		trainQ = append(trainQ, must.Object(q.Vectors))
-		trainPos = append(trainPos, q.GroundTruth[0])
+		trainQ = append(trainQ, must.NamedVectors{"face": q.Vectors[0], "attrs": q.Vectors[1]})
+		trainPos = append(trainPos, int64(q.GroundTruth[0]))
 	}
-	w, err := must.LearnWeights(c, trainQ, trainPos, must.WeightConfig{Epochs: 150, LearningRate: 0.01, Seed: 1})
+	w, err := engine.LearnWeights(trainQ, trainPos, must.WeightConfig{Epochs: 150, LearningRate: 0.01, Seed: 1})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("learned weights: face ω²=%.3f, attribute-text ω²=%.3f\n", w[0]*w[0], w[1]*w[1])
 
-	ix, err := must.Build(c, w, must.BuildOptions{Gamma: 24, Seed: 2})
-	if err != nil {
+	if err := engine.Build(); err != nil {
 		log.Fatal(err)
 	}
 
 	// Run a held-out "edit this face" query three ways.
 	q := enc.Queries[200]
-	gt := q.GroundTruth[0]
+	gt := int64(q.GroundTruth[0])
 	fmt.Printf("\nquery: reference face + attribute edit (ground truth = face #%d)\n", gt)
 
-	show := func(label string, weights must.Weights) {
-		matches, err := ix.Search(must.Object(q.Vectors), must.SearchOptions{K: 3, L: 300, Weights: weights})
+	ctx := context.Background()
+	show := func(label string, weights map[string]float32) {
+		resp, err := engine.Search(ctx, must.Query{
+			Vectors: must.NamedVectors{"face": q.Vectors[0], "attrs": q.Vectors[1]},
+			K:       3, L: 300,
+			Weights: weights,
+		})
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("%-28s", label)
-		for _, m := range matches {
+		for _, m := range resp.Matches {
 			mark := ""
 			if m.ID == gt {
 				mark = "*"
@@ -80,8 +91,8 @@ func main() {
 		}
 		fmt.Println()
 	}
-	show("face modality only:", must.Weights{1, 0})
-	show("attribute text only:", must.Weights{0, 1})
+	show("face modality only:", map[string]float32{"face": 1, "attrs": 0})
+	show("attribute text only:", map[string]float32{"face": 0, "attrs": 1})
 	show("MUST joint (learned):", nil)
 	fmt.Println("\n(* ground truth; face~ / attr~ are true latent similarities —")
 	fmt.Println(" face-only finds look-alikes with wrong attributes, text-only finds")

@@ -2,12 +2,14 @@
 // text, §VIII-A): a query combines a reference image, a second image
 // contributing extra elements, and a text constraint. It compares MUST's
 // joint search against searching any single modality, and shows the t ≠ m
-// case — dropping a query modality via a zero weight (§VII-B).
+// case — dropping query modalities by simply omitting them from the named
+// query (§VII-B), with no rebuild and no zero-vector bookkeeping.
 //
 //	go run ./examples/multimodal3
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -31,27 +33,34 @@ func main() {
 	enc := dataset.MustEncode(raw, set)
 	fmt.Printf("corpus: %d scenes, 3 modalities (%s)\n", len(enc.Objects), enc.EncoderLabel)
 
-	c := must.NewCollection(enc.Dims...)
+	names := []string{"image", "text", "image2"}
+	engine, err := must.NewEngine(must.Schema{
+		{Name: names[0], Dim: enc.Dims[0]},
+		{Name: names[1], Dim: enc.Dims[1]},
+		{Name: names[2], Dim: enc.Dims[2]},
+	}, must.EngineOptions{Build: must.BuildOptions{Gamma: 24, Seed: 2}})
+	if err != nil {
+		log.Fatal(err)
+	}
 	for _, o := range enc.Objects {
-		if _, err := c.Add(must.Object(o)); err != nil {
+		if _, err := engine.InsertObject(must.Object(o)); err != nil {
 			log.Fatal(err)
 		}
 	}
-	var trainQ []must.Object
-	var trainPos []int
+	var trainQ []must.NamedVectors
+	var trainPos []int64
 	for _, q := range enc.Queries[:150] {
-		trainQ = append(trainQ, must.Object(q.Vectors))
-		trainPos = append(trainPos, q.GroundTruth[0])
+		trainQ = append(trainQ, namedQuery(names, q.Vectors, nil))
+		trainPos = append(trainPos, int64(q.GroundTruth[0]))
 	}
-	w, err := must.LearnWeights(c, trainQ, trainPos, must.WeightConfig{Epochs: 150, LearningRate: 0.01, Seed: 1})
+	w, err := engine.LearnWeights(trainQ, trainPos, must.WeightConfig{Epochs: 150, LearningRate: 0.01, Seed: 1})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("learned weights ω²: image=%.3f text=%.3f image2=%.3f\n",
 		w[0]*w[0], w[1]*w[1], w[2]*w[2])
 
-	ix, err := must.Build(c, w, must.BuildOptions{Gamma: 24, Seed: 2})
-	if err != nil {
+	if err := engine.Build(); err != nil {
 		log.Fatal(err)
 	}
 
@@ -59,16 +68,22 @@ func main() {
 	if len(eval) > 150 {
 		eval = eval[:150]
 	}
-	recallAt10 := func(weights must.Weights) float64 {
+	ctx := context.Background()
+	// recallAt10 runs the evaluation keeping only the named modalities in
+	// the query: omitted modalities get a zero weight automatically.
+	recallAt10 := func(keep ...string) float64 {
 		var results, truths [][]int
 		for _, q := range eval {
-			ms, err := ix.Search(must.Object(q.Vectors), must.SearchOptions{K: 10, L: 300, Weights: weights})
+			resp, err := engine.Search(ctx, must.Query{
+				Vectors: namedQuery(names, q.Vectors, keep),
+				K:       10, L: 300,
+			})
 			if err != nil {
 				log.Fatal(err)
 			}
-			ids := make([]int, len(ms))
-			for i, m := range ms {
-				ids[i] = m.ID
+			ids := make([]int, len(resp.Matches))
+			for i, m := range resp.Matches {
+				ids[i] = int(m.ID)
 			}
 			results = append(results, ids)
 			truths = append(truths, q.GroundTruth)
@@ -77,10 +92,33 @@ func main() {
 	}
 
 	fmt.Println("\nRecall@10(1) over", len(eval), "held-out queries:")
-	fmt.Printf("  all three modalities (learned ω):  %.4f\n", recallAt10(nil))
-	fmt.Printf("  without the text     (t=2):        %.4f\n", recallAt10(must.Weights{w[0], 0, w[2]}))
-	fmt.Printf("  without image #2     (t=2):        %.4f\n", recallAt10(must.Weights{w[0], w[1], 0}))
-	fmt.Printf("  target image only    (t=1):        %.4f\n", recallAt10(must.Weights{1, 0, 0}))
+	fmt.Printf("  all three modalities (learned ω):  %.4f\n", recallAt10(names...))
+	fmt.Printf("  without the text     (t=2):        %.4f\n", recallAt10("image", "image2"))
+	fmt.Printf("  without image #2     (t=2):        %.4f\n", recallAt10("image", "text"))
+	fmt.Printf("  target image only    (t=1):        %.4f\n", recallAt10("image"))
 	fmt.Println("\nMore query modalities → better recall (the Tab. VIII / Tab. X effect);")
-	fmt.Println("missing modalities degrade gracefully via zero weights, no rebuild needed.")
+	fmt.Println("missing modalities degrade gracefully — just leave them out of the query.")
+}
+
+// namedQuery maps positional workload vectors onto modality names,
+// keeping only the modalities listed in keep (nil keeps all).
+func namedQuery(names []string, vectors [][]float32, keep []string) must.NamedVectors {
+	kept := func(name string) bool {
+		if keep == nil {
+			return true
+		}
+		for _, k := range keep {
+			if k == name {
+				return true
+			}
+		}
+		return false
+	}
+	q := make(must.NamedVectors, len(names))
+	for i, name := range names {
+		if kept(name) {
+			q[name] = vectors[i]
+		}
+	}
+	return q
 }

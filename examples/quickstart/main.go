@@ -1,16 +1,18 @@
-// Quickstart: the minimal end-to-end MUST pipeline using only the public
-// API — add multimodal objects, learn modality weights from a handful of
-// (query, true answer) pairs, build the fused index, and search.
+// Quickstart: the minimal end-to-end MUST pipeline using the Engine API —
+// declare a schema of named modalities, insert multimodal objects, learn
+// modality weights from a handful of (query, true answer) pairs, build
+// the fused index, and search with a typed Query.
 //
 // The "embeddings" here are synthetic: each object is a product with an
-// image vector (modality 0, the target) and a description vector
-// (modality 1). A query gives a reference image plus a description tweak;
-// the planted answer matches both.
+// image vector ("image", the target modality) and a description vector
+// ("text"). A query gives a reference image plus a description tweak; the
+// planted answer matches both.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -27,30 +29,54 @@ const (
 
 func main() {
 	rng := rand.New(rand.NewSource(42))
-	c := must.NewCollection(imageDim, textDim)
+	engine, err := must.NewEngine(must.Schema{
+		{Name: "image", Dim: imageDim}, // modality 0 = target
+		{Name: "text", Dim: textDim},
+	}, must.EngineOptions{Build: must.BuildOptions{Gamma: 20, Seed: 2}})
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	// Plant training pairs: object i is the true answer for query i.
-	var trainQueries []must.Object
-	var trainPositives []int
+	var trainQueries []must.NamedVectors
+	var trainPositives []int64
 	for i := 0; i < training; i++ {
 		img := randVec(rng, imageDim)
 		txt := randVec(rng, textDim)
-		id, err := c.Add(must.Object{perturb(rng, img, 0.1), perturb(rng, txt, 0.1)})
+		id, err := engine.Insert(must.NamedVectors{
+			"image": perturb(rng, img, 0.1),
+			"text":  perturb(rng, txt, 0.1),
+		})
 		if err != nil {
 			log.Fatal(err)
 		}
-		trainQueries = append(trainQueries, must.Object{perturb(rng, img, 0.1), perturb(rng, txt, 0.1)})
+		trainQueries = append(trainQueries, must.NamedVectors{
+			"image": perturb(rng, img, 0.1),
+			"text":  perturb(rng, txt, 0.1),
+		})
 		trainPositives = append(trainPositives, id)
 	}
-	// Background corpus.
-	for c.Len() < corpus {
-		if _, err := c.Add(must.Object{randVec(rng, imageDim), randVec(rng, textDim)}); err != nil {
+	// Background corpus, plus the planted answer for the demo query.
+	img := randVec(rng, imageDim)
+	txt := randVec(rng, textDim)
+	wantID, err := engine.Insert(must.NamedVectors{
+		"image": perturb(rng, img, 0.1),
+		"text":  perturb(rng, txt, 0.1),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for engine.Len() < corpus {
+		if _, err := engine.Insert(must.NamedVectors{
+			"image": randVec(rng, imageDim),
+			"text":  randVec(rng, textDim),
+		}); err != nil {
 			log.Fatal(err)
 		}
 	}
 
 	// 1. Learn the modality weights (§VI of the paper).
-	w, err := must.LearnWeights(c, trainQueries, trainPositives, must.WeightConfig{
+	w, err := engine.LearnWeights(trainQueries, trainPositives, must.WeightConfig{
 		Epochs: 150, LearningRate: 0.02, Negatives: 5, Seed: 1,
 	})
 	if err != nil {
@@ -59,37 +85,36 @@ func main() {
 	fmt.Printf("learned weights: ω0²=%.3f ω1²=%.3f\n", w[0]*w[0], w[1]*w[1])
 
 	// 2. Build the fused proximity-graph index (§VII).
-	ix, err := must.Build(c, w, must.BuildOptions{Gamma: 20, Seed: 2})
+	if err := engine.Build(); err != nil {
+		log.Fatal(err)
+	}
+	st, err := engine.Stats()
 	if err != nil {
 		log.Fatal(err)
 	}
-	st := ix.Stats()
 	fmt.Printf("index: %d objects, %d edges, %.1f avg degree, built in %dms\n",
 		st.Objects, st.Edges, st.AvgDegree, st.BuildTime/1e6)
 
-	// 3. Search with a held-out query built the same way as training.
-	img := randVec(rng, imageDim)
-	txt := randVec(rng, textDim)
-	wantID, err := c.Add(must.Object{perturb(rng, img, 0.1), perturb(rng, txt, 0.1)})
+	// 3. Search with a typed query: named modality vectors, context for
+	// cancellation, per-modality score breakdown on every match.
+	resp, err := engine.Search(context.Background(), must.Query{
+		Vectors: must.NamedVectors{
+			"image": perturb(rng, img, 0.1),
+			"text":  perturb(rng, txt, 0.1),
+		},
+		K: 5,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	// Rebuild to include the new object (the index is a static snapshot).
-	ix, err = must.Build(c, w, must.BuildOptions{Gamma: 20, Seed: 2})
-	if err != nil {
-		log.Fatal(err)
-	}
-	matches, err := ix.Search(must.Object{perturb(rng, img, 0.1), perturb(rng, txt, 0.1)}, must.SearchOptions{K: 5})
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Println("top-5 matches:")
-	for rank, m := range matches {
+	fmt.Printf("top-5 matches (search took %v, %d hops):\n", resp.Latency, resp.Stats.Hops)
+	for rank, m := range resp.Matches {
 		mark := " "
 		if m.ID == wantID {
 			mark = "*"
 		}
-		fmt.Printf("  %d.%s object %d (joint similarity %.4f)\n", rank+1, mark, m.ID, m.Similarity)
+		fmt.Printf("  %d.%s object %d  joint=%.4f  (image %.4f + text %.4f)\n",
+			rank+1, mark, m.ID, m.Similarity, m.ByModality["image"], m.ByModality["text"])
 	}
 }
 

@@ -1,11 +1,15 @@
 // Scale demonstrates the Tab. VII trend: exact multi-vector search grows
 // linearly with corpus size while MUST's fused-graph search stays nearly
-// flat, at matched (near-exact) recall.
+// flat, at matched (near-exact) recall. The MUST side runs through the
+// Engine, which also serves the query workload concurrently via
+// SearchBatch — the production throughput mode the paper's
+// single-threaded numbers leave on the table.
 //
 //	go run ./examples/scale [-base 4000]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -20,7 +24,8 @@ func main() {
 	base := flag.Int("base", 4000, "base corpus size; the sweep runs 1x/2x/4x")
 	flag.Parse()
 
-	fmt.Println("n        build      exact/query   MUST/query   speedup")
+	ctx := context.Background()
+	fmt.Println("n        build      exact/query   MUST/query   speedup   batched/query")
 	for _, factor := range []int{1, 2, 4} {
 		n := *base * factor
 		raw, err := dataset.GenerateFeature(dataset.ImageTextN(n, 7))
@@ -33,6 +38,7 @@ func main() {
 		}}
 		enc := dataset.MustEncode(raw, set)
 
+		// Exact baseline on the low-level Collection API.
 		c := must.NewCollection(enc.Dims...)
 		for _, o := range enc.Objects {
 			if _, err := c.Add(must.Object(o)); err != nil {
@@ -40,9 +46,22 @@ func main() {
 			}
 		}
 		w := c.UniformWeights()
-		buildStart := time.Now()
-		ix, err := must.Build(c, w, must.BuildOptions{Gamma: 24, Seed: 2})
+
+		// MUST through the Engine.
+		engine, err := must.NewEngine(must.Schema{
+			{Name: "image", Dim: enc.Dims[0]},
+			{Name: "text", Dim: enc.Dims[1]},
+		}, must.EngineOptions{Build: must.BuildOptions{Gamma: 24, Seed: 2}})
 		if err != nil {
+			log.Fatal(err)
+		}
+		for _, o := range enc.Objects {
+			if _, err := engine.InsertObject(must.Object(o)); err != nil {
+				log.Fatal(err)
+			}
+		}
+		buildStart := time.Now()
+		if err := engine.Build(); err != nil {
 			log.Fatal(err)
 		}
 		buildTime := time.Since(buildStart)
@@ -59,19 +78,34 @@ func main() {
 		}
 		exactPer := time.Since(exactStart) / time.Duration(len(queries))
 
+		typed := make([]must.Query, len(queries))
+		for i, q := range queries {
+			typed[i] = must.Query{
+				Vectors: must.NamedVectors{"image": q.Vectors[0], "text": q.Vectors[1]},
+				K:       10, L: 80,
+			}
+		}
 		graphStart := time.Now()
-		for _, q := range queries {
-			if _, err := ix.Search(must.Object(q.Vectors), must.SearchOptions{K: 10, L: 80}); err != nil {
+		for _, q := range typed {
+			if _, err := engine.Search(ctx, q); err != nil {
 				log.Fatal(err)
 			}
 		}
 		graphPer := time.Since(graphStart) / time.Duration(len(queries))
 
-		fmt.Printf("%-8d %-10v %-13v %-12v %.1fx\n",
+		batchStart := time.Now()
+		if _, err := engine.SearchBatch(ctx, typed, 0); err != nil {
+			log.Fatal(err)
+		}
+		batchPer := time.Since(batchStart) / time.Duration(len(queries))
+
+		fmt.Printf("%-8d %-10v %-13v %-12v %-9s %v\n",
 			n, buildTime.Round(time.Millisecond),
 			exactPer.Round(time.Microsecond), graphPer.Round(time.Microsecond),
-			float64(exactPer)/float64(graphPer))
+			fmt.Sprintf("%.1fx", float64(exactPer)/float64(graphPer)),
+			batchPer.Round(time.Microsecond))
 	}
 	fmt.Println("\nExact per-query time grows with n; the fused-graph search barely moves —")
-	fmt.Println("the Tab. VII scalability result (98.4% response-time reduction at 16M).")
+	fmt.Println("the Tab. VII scalability result (98.4% response-time reduction at 16M) —")
+	fmt.Println("and batching across cores amortizes each query further.")
 }

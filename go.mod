@@ -1,0 +1,3 @@
+module must
+
+go 1.24

@@ -132,17 +132,25 @@ type BruteForce struct {
 // TopK returns the exact top-k object IDs by joint similarity to query,
 // best first.
 func (b *BruteForce) TopK(query vec.Multi, k int) []search.Result {
-	return bruteTopK(b.Objects, b.Weights, query, k, 1)
+	return bruteTopK(b.Objects, b.Weights, query, k, 1, nil)
+}
+
+// TopKFiltered is TopK restricted to objects accepted by keep (nil keeps
+// everything) — the exact-retrieval counterpart of the hybrid
+// vector-plus-constraint queries of §III, also used to exclude
+// tombstoned objects from exact results.
+func (b *BruteForce) TopKFiltered(query vec.Multi, k int, keep func(id int) bool) []search.Result {
+	return bruteTopK(b.Objects, b.Weights, query, k, 1, keep)
 }
 
 // TopKParallel is TopK using all cores; used for bulk ground-truth
 // computation, not for timing comparisons (the paper measures
 // single-threaded search).
 func (b *BruteForce) TopKParallel(query vec.Multi, k int) []search.Result {
-	return bruteTopK(b.Objects, b.Weights, query, k, runtime.GOMAXPROCS(0))
+	return bruteTopK(b.Objects, b.Weights, query, k, runtime.GOMAXPROCS(0), nil)
 }
 
-func bruteTopK(objects []vec.Multi, w vec.Weights, query vec.Multi, k int, workers int) []search.Result {
+func bruteTopK(objects []vec.Multi, w vec.Weights, query vec.Multi, k int, workers int, keep func(id int) bool) []search.Result {
 	n := len(objects)
 	if n == 0 || k <= 0 {
 		return nil
@@ -165,14 +173,17 @@ func bruteTopK(objects []vec.Multi, w vec.Weights, query vec.Multi, k int, worke
 	for wi := 0; wi < workers; wi++ {
 		go func(wi int) {
 			defer wg.Done()
-			// Each worker needs its own scanner state? The scanner is
-			// stateless per Scan call, so sharing is safe for FullIP.
+			// The scanner is stateless per call, so sharing it across
+			// workers is safe for FullIP.
 			lo, hi := wi*chunk, (wi+1)*chunk
 			if hi > n {
 				hi = n
 			}
 			local := make([]search.Result, 0, k+1)
 			for i := lo; i < hi; i++ {
+				if keep != nil && !keep(i) {
+					continue
+				}
 				ip := scanner.FullIP(objects[i])
 				if len(local) == k && ip <= local[len(local)-1].IP {
 					continue

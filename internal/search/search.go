@@ -5,6 +5,7 @@
 package search
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -117,7 +118,55 @@ func New(g *graph.Graph, objects []vec.Multi, w vec.Weights, opts ...Option) *Se
 type Result struct {
 	ID int
 	IP float32
+	// PerModality holds the per-modality contributions ω_i²·IP_i whose sum
+	// is the joint IP (Lemma 1). Populated only when Params.Breakdown is
+	// set; nil otherwise.
+	PerModality []float32
 }
+
+// Params configures a single search call, overriding the Searcher's
+// constructor-time options. The zero value is not useful — K and L are
+// required; use Defaults (or the legacy Search method) to inherit the
+// constructor options.
+type Params struct {
+	// K is the number of results; L is the result-set size l of
+	// Algorithm 2 (l ≥ k).
+	K, L int
+	// Weights overrides the searcher weights for this call (user-defined
+	// weight preference, §VIII-F); nil keeps the searcher weights.
+	Weights vec.Weights
+	// Filter restricts results to accepted objects (§III hybrid queries).
+	Filter func(id int) bool
+	// Tombstones marks deleted objects (§IX); routed through, never
+	// returned.
+	Tombstones []bool
+	// Patience > 0 enables adaptive early termination.
+	Patience int
+	// Optimize toggles the Lemma 4 partial-IP early termination.
+	Optimize bool
+	// Breakdown requests per-modality similarity contributions on the
+	// returned results (Result.PerModality).
+	Breakdown bool
+	// Ctx, when non-nil, is checked periodically during routing; the
+	// search aborts with the context's error on cancellation or deadline.
+	Ctx context.Context
+}
+
+// defaults returns Params inheriting the searcher's constructor options.
+func (s *Searcher) defaults(k, l int) Params {
+	return Params{
+		K:          k,
+		L:          l,
+		Filter:     s.filter,
+		Tombstones: s.tombstones,
+		Patience:   s.patience,
+		Optimize:   s.optimize,
+	}
+}
+
+// ctxCheckInterval is how many routing hops pass between ctx.Err() polls;
+// a power of two so the check compiles to a mask.
+const ctxCheckInterval = 64
 
 // Search returns the approximate top-k results for the multimodal query
 // under the searcher's weights. l is the result-set size of Algorithm 2
@@ -125,6 +174,15 @@ type Result struct {
 // modalities are handled by zero weights in the searcher's weight vector
 // (§VII-B).
 func (s *Searcher) Search(query vec.Multi, k, l int) ([]Result, Stats, error) {
+	return s.SearchParams(query, s.defaults(k, l))
+}
+
+// SearchParams is Search with explicit per-call parameters. It lets one
+// pooled Searcher serve calls with different filters, weights, tombstone
+// sets, and contexts: the Searcher contributes only the graph, the object
+// vectors, and its reusable visit buffers.
+func (s *Searcher) SearchParams(query vec.Multi, p Params) ([]Result, Stats, error) {
+	k, l := p.K, p.L
 	if k <= 0 {
 		return nil, Stats{}, fmt.Errorf("search: k must be positive, got %d", k)
 	}
@@ -134,6 +192,11 @@ func (s *Searcher) Search(query vec.Multi, k, l int) ([]Result, Stats, error) {
 	if len(query) != 0 && len(s.objects) > 0 && len(query) != len(s.objects[0]) {
 		return nil, Stats{}, fmt.Errorf("search: query has %d modalities, objects have %d", len(query), len(s.objects[0]))
 	}
+	if p.Ctx != nil {
+		if err := p.Ctx.Err(); err != nil {
+			return nil, Stats{}, fmt.Errorf("search: %w", err)
+		}
+	}
 	n := len(s.objects)
 	if n == 0 {
 		return nil, Stats{}, nil
@@ -141,9 +204,13 @@ func (s *Searcher) Search(query vec.Multi, k, l int) ([]Result, Stats, error) {
 	if l > n {
 		l = n
 	}
+	weights := s.weights
+	if p.Weights != nil {
+		weights = p.Weights
+	}
 
 	var stats Stats
-	scanner := vec.NewPartialIPScanner(s.weights, query)
+	scanner := vec.NewPartialIPScanner(weights, query)
 
 	// Reset the visit/seen markers from the previous search.
 	for _, v := range s.touched {
@@ -198,6 +265,11 @@ func (s *Searcher) Search(query vec.Multi, k, l int) ([]Result, Stats, error) {
 	// Lines 4-10: greedy routing.
 	stale := 0
 	for {
+		if p.Ctx != nil && stats.Hops&(ctxCheckInterval-1) == 0 {
+			if err := p.Ctx.Err(); err != nil {
+				return nil, stats, fmt.Errorf("search: %w", err)
+			}
+		}
 		// v ← nearest unvisited vertex in R.
 		idx := -1
 		for i := range pool {
@@ -221,7 +293,7 @@ func (s *Searcher) Search(query vec.Multi, k, l int) ([]Result, Stats, error) {
 			}
 			mark(u)
 			var ip float32
-			if s.optimize && full {
+			if p.Optimize && full {
 				bound, exact := scanner.Scan(s.objects[u], threshold)
 				if !exact {
 					stats.PartialSkips++
@@ -240,10 +312,10 @@ func (s *Searcher) Search(query vec.Multi, k, l int) ([]Result, Stats, error) {
 			threshold = pool[len(pool)-1].ip
 			full = len(pool) == l
 		}
-		if s.patience > 0 {
+		if p.Patience > 0 {
 			if improved {
 				stale = 0
-			} else if stale++; stale >= s.patience {
+			} else if stale++; stale >= p.Patience {
 				break
 			}
 		}
@@ -254,15 +326,35 @@ func (s *Searcher) Search(query vec.Multi, k, l int) ([]Result, Stats, error) {
 		if len(out) == k {
 			break
 		}
-		if int(e.id) < len(s.tombstones) && s.tombstones[e.id] {
+		if int(e.id) < len(p.Tombstones) && p.Tombstones[e.id] {
 			continue
 		}
-		if s.filter != nil && !s.filter(int(e.id)) {
+		if p.Filter != nil && !p.Filter(int(e.id)) {
 			continue
 		}
-		out = append(out, Result{ID: int(e.id), IP: e.ip})
+		r := Result{ID: int(e.id), IP: e.ip}
+		if p.Breakdown {
+			r.PerModality = Breakdown(weights, query, s.objects[e.id])
+		}
+		out = append(out, r)
 	}
 	return out, stats, nil
+}
+
+// Breakdown computes the per-modality contributions ω_i²·IP_i of Lemma 1
+// between query and cand, in the same distance formulation the routing
+// uses (ω_i²·(1 − ½‖q_i − u_i‖²) on normalized vectors), so the
+// contributions sum to the joint IP up to rounding.
+func Breakdown(w vec.Weights, query, cand vec.Multi) []float32 {
+	out := make([]float32, len(cand))
+	for i := range cand {
+		if i >= len(w) || w[i] == 0 {
+			continue
+		}
+		w2 := w[i] * w[i]
+		out[i] = w2 * (1 - 0.5*vec.SquaredL2(query[i], cand[i]))
+	}
+	return out
 }
 
 // IDs extracts the object IDs of results, in rank order.

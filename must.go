@@ -20,6 +20,21 @@
 //
 // # Quick start
 //
+// The Engine is the recommended entry point: named modalities, typed
+// Query/Response with per-modality score breakdowns, context-aware
+// search, and safety under concurrent Search/Insert/Delete/Rebuild:
+//
+//	e, _ := must.NewEngine(must.Schema{{"image", 128}, {"text", 32}}, must.EngineOptions{})
+//	for _, o := range objects { e.Insert(o) }  // NamedVectors per object
+//	e.LearnWeights(trainQueries, trainPositives, must.WeightConfig{})
+//	e.Build()
+//	resp, _ := e.Search(ctx, must.Query{Vectors: must.NamedVectors{"image": img, "text": txt}, K: 10})
+//
+// # Low-level layer
+//
+// Collection/Build/Index remain as the positional single-goroutine layer
+// the Engine delegates to:
+//
 //	c := must.NewCollection(128, 32)          // two modalities
 //	for _, o := range objects { c.Add(o) }    // [][]float32 per object
 //	w, _ := must.LearnWeights(c, trainQueries, trainPositives, must.WeightConfig{})
@@ -49,7 +64,11 @@ type Weights = []float32
 
 // Collection accumulates multimodal objects with a fixed modality layout.
 type Collection struct {
-	dims    []int
+	dims []int
+	// names optionally labels the modalities (set by the Engine's Schema
+	// and preserved by the v2 persistence format); nil for collections
+	// created positionally.
+	names   []string
 	objects []vec.Multi
 }
 
@@ -65,6 +84,15 @@ func (c *Collection) Modalities() int { return len(c.dims) }
 
 // Dims returns the per-modality vector dimensions.
 func (c *Collection) Dims() []int { return append([]int(nil), c.dims...) }
+
+// Names returns the per-modality names, or nil if the collection was
+// created without a schema.
+func (c *Collection) Names() []string {
+	if c.names == nil {
+		return nil
+	}
+	return append([]string(nil), c.names...)
+}
 
 // Len returns the number of objects added.
 func (c *Collection) Len() int { return len(c.objects) }
@@ -485,13 +513,29 @@ func (ix *Index) Stats() Stats {
 func (ix *Index) Save(path string) error { return ix.f.Save(path) }
 
 // LoadIndex reads an index saved with Save and attaches it to the
-// collection it was built over.
+// collection it was built over. Build options are not stored in the index
+// file, so the loaded index assumes the paper defaults (γ=30, ε=3) for
+// subsequent Insert linking; set them explicitly with SetBuildOptions if
+// the index was built with different parameters.
 func LoadIndex(path string, c *Collection) (*Index, error) {
 	f, err := index.Load(path, c.objects)
 	if err != nil {
 		return nil, err
 	}
-	return &Index{c: c, f: f}, nil
+	opt := BuildOptions{Gamma: 30, Iterations: 3}
+	return &Index{c: c, f: f, opt: opt}, nil
+}
+
+// SetBuildOptions overrides the build parameters a loaded index uses for
+// incremental Insert linking (Gamma and Iterations default when zero).
+func (ix *Index) SetBuildOptions(opts BuildOptions) {
+	if opts.Gamma == 0 {
+		opts.Gamma = 30
+	}
+	if opts.Iterations == 0 {
+		opts.Iterations = 3
+	}
+	ix.opt = opts
 }
 
 // ExactSearch performs exhaustive exact retrieval (the paper's MUST--),

@@ -8,10 +8,21 @@ import (
 	"math"
 	"os"
 
+	"must/internal/index"
 	"must/internal/vec"
 )
 
-// Collection binary format, little-endian:
+// Collection binary format, little-endian.
+//
+// Version 2 (written by this package; adds modality names):
+//
+//	magic "MUSTCL2\n"
+//	m uint32, dims: m × uint32
+//	names: m × (len uint32, bytes)   — len 0 for unnamed modalities
+//	numObjects uint32
+//	objects: numObjects × (per modality: dim × float32)
+//
+// Version 1 (still readable; no names):
 //
 //	magic "MUSTCL1\n"
 //	m uint32, dims: m × uint32
@@ -21,12 +32,46 @@ import (
 // Pairs with Index.Save/LoadIndex so a built system can be persisted and
 // restored in full: save the collection and the index, load both, search.
 
-var clMagic = [8]byte{'M', 'U', 'S', 'T', 'C', 'L', '1', '\n'}
+var (
+	clMagicV1 = [8]byte{'M', 'U', 'S', 'T', 'C', 'L', '1', '\n'}
+	clMagicV2 = [8]byte{'M', 'U', 'S', 'T', 'C', 'L', '2', '\n'}
+)
 
-// WriteCollection serializes c to w.
+func writeString(bw *bufio.Writer, s string) error {
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(s))); err != nil {
+		return err
+	}
+	_, err := bw.WriteString(s)
+	return err
+}
+
+func readString(br *bufio.Reader, maxLen uint32) (string, error) {
+	var n uint32
+	if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
+		return "", err
+	}
+	if n > maxLen {
+		return "", fmt.Errorf("must: unreasonable string length %d", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(br, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}
+
+// WriteCollection serializes c to w in the v2 format (modality names
+// included when present).
 func WriteCollection(w io.Writer, c *Collection) error {
 	bw := bufio.NewWriterSize(w, 1<<20)
-	if _, err := bw.Write(clMagic[:]); err != nil {
+	if err := writeCollectionBody(bw, c); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+func writeCollectionBody(bw *bufio.Writer, c *Collection) error {
+	if _, err := bw.Write(clMagicV2[:]); err != nil {
 		return err
 	}
 	if err := binary.Write(bw, binary.LittleEndian, uint32(len(c.dims))); err != nil {
@@ -34,6 +79,18 @@ func WriteCollection(w io.Writer, c *Collection) error {
 	}
 	for _, d := range c.dims {
 		if err := binary.Write(bw, binary.LittleEndian, uint32(d)); err != nil {
+			return err
+		}
+	}
+	for i := range c.dims {
+		name := ""
+		if i < len(c.names) {
+			name = c.names[i]
+		}
+		if len(name) > maxModalityNameLen {
+			return fmt.Errorf("must: modality %d name exceeds %d bytes, would be unloadable", i, maxModalityNameLen)
+		}
+		if err := writeString(bw, name); err != nil {
 			return err
 		}
 	}
@@ -51,17 +108,28 @@ func WriteCollection(w io.Writer, c *Collection) error {
 			}
 		}
 	}
-	return bw.Flush()
+	return nil
 }
 
-// ReadCollection deserializes a collection from r.
+// ReadCollection deserializes a collection from r, accepting both the v1
+// and v2 formats.
 func ReadCollection(r io.Reader) (*Collection, error) {
 	br := bufio.NewReaderSize(r, 1<<20)
+	return readCollectionBody(br)
+}
+
+func readCollectionBody(br *bufio.Reader) (*Collection, error) {
 	var got [8]byte
 	if _, err := io.ReadFull(br, got[:]); err != nil {
 		return nil, fmt.Errorf("must: reading collection magic: %w", err)
 	}
-	if got != clMagic {
+	version := 0
+	switch got {
+	case clMagicV1:
+		version = 1
+	case clMagicV2:
+		version = 2
+	default:
 		return nil, fmt.Errorf("must: bad collection magic %q", got[:])
 	}
 	var m uint32
@@ -84,11 +152,30 @@ func ReadCollection(r io.Reader) (*Collection, error) {
 		dims[i] = int(d)
 		total += int(d)
 	}
+	var names []string
+	if version >= 2 {
+		any := false
+		names = make([]string, m)
+		for i := range names {
+			s, err := readString(br, maxModalityNameLen)
+			if err != nil {
+				return nil, fmt.Errorf("must: reading modality %d name: %w", i, err)
+			}
+			names[i] = s
+			if s != "" {
+				any = true
+			}
+		}
+		if !any {
+			names = nil
+		}
+	}
 	var n uint32
 	if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
 		return nil, err
 	}
 	c := NewCollection(dims...)
+	c.names = names
 	c.objects = make([]vec.Multi, 0, n)
 	for i := uint32(0); i < n; i++ {
 		flat := make([]float32, total)
@@ -104,6 +191,255 @@ func ReadCollection(r io.Reader) (*Collection, error) {
 		c.objects = append(c.objects, mv)
 	}
 	return c, nil
+}
+
+// Engine binary format, little-endian:
+//
+//	magic "MUSTEG1\n"
+//	schema: m uint32, m × (nameLen uint32, name bytes, dim uint32)
+//	weights: m × float32
+//	build: gamma uint32, iterations uint32, algorithm uint32, seed int64
+//	nextID uint64
+//	ids: n uint32, n × uint64
+//	tombstones: n × uint8
+//	collection body (v2 format, see above)
+//	built uint8; if 1: index body (internal/index format)
+var egMagic = [8]byte{'M', 'U', 'S', 'T', 'E', 'G', '1', '\n'}
+
+// SaveTo serializes the whole engine — schema, weights, build options,
+// objects, stable IDs, tombstones, and the built graph — to w. The engine
+// may keep serving while it saves (a consistent snapshot is taken under
+// the read lock).
+func (e *Engine) SaveTo(w io.Writer) error {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := bw.Write(egMagic[:]); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(e.schema))); err != nil {
+		return err
+	}
+	for _, m := range e.schema {
+		if err := writeString(bw, m.Name); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, uint32(m.Dim)); err != nil {
+			return err
+		}
+	}
+	for _, x := range e.weights {
+		if err := binary.Write(bw, binary.LittleEndian, math.Float32bits(x)); err != nil {
+			return err
+		}
+	}
+	bo := e.build
+	if err := binary.Write(bw, binary.LittleEndian, uint32(bo.Gamma)); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(bo.Iterations)); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(bo.Algorithm)); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, bo.Seed); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint64(e.nextID)); err != nil {
+		return err
+	}
+	n := e.c.Len()
+	if err := binary.Write(bw, binary.LittleEndian, uint32(n)); err != nil {
+		return err
+	}
+	for _, id := range e.ids {
+		if err := binary.Write(bw, binary.LittleEndian, uint64(id)); err != nil {
+			return err
+		}
+	}
+	for i := 0; i < n; i++ {
+		var b byte
+		if e.ix != nil && i < len(e.ix.dead) && e.ix.dead[i] {
+			b = 1
+		}
+		if err := bw.WriteByte(b); err != nil {
+			return err
+		}
+	}
+	if err := writeCollectionBody(bw, e.c); err != nil {
+		return err
+	}
+	built := byte(0)
+	if e.ix != nil {
+		built = 1
+	}
+	if err := bw.WriteByte(built); err != nil {
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	if e.ix != nil {
+		// The index section is last, so its internal buffering cannot
+		// over-read anything that follows on load.
+		return e.ix.f.Write(w)
+	}
+	return nil
+}
+
+// Save writes the engine to the file at path.
+func (e *Engine) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := e.SaveTo(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadEngine deserializes an engine written with SaveTo, restoring
+// schema, weights, build options, objects, stable IDs, tombstones, and
+// the built graph.
+func ReadEngine(r io.Reader) (*Engine, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	var got [8]byte
+	if _, err := io.ReadFull(br, got[:]); err != nil {
+		return nil, fmt.Errorf("must: reading engine magic: %w", err)
+	}
+	if got != egMagic {
+		return nil, fmt.Errorf("must: bad engine magic %q", got[:])
+	}
+	readU32 := func() (uint32, error) {
+		var x uint32
+		err := binary.Read(br, binary.LittleEndian, &x)
+		return x, err
+	}
+	m, err := readU32()
+	if err != nil {
+		return nil, err
+	}
+	if m == 0 || m > 64 {
+		return nil, fmt.Errorf("must: unreasonable modality count %d", m)
+	}
+	schema := make(Schema, m)
+	for i := range schema {
+		name, err := readString(br, maxModalityNameLen)
+		if err != nil {
+			return nil, err
+		}
+		d, err := readU32()
+		if err != nil {
+			return nil, err
+		}
+		schema[i] = Modality{Name: name, Dim: int(d)}
+	}
+	w := make(Weights, m)
+	for i := range w {
+		bits, err := readU32()
+		if err != nil {
+			return nil, err
+		}
+		w[i] = math.Float32frombits(bits)
+	}
+	var bo BuildOptions
+	gamma, err := readU32()
+	if err != nil {
+		return nil, err
+	}
+	iters, err := readU32()
+	if err != nil {
+		return nil, err
+	}
+	algo, err := readU32()
+	if err != nil {
+		return nil, err
+	}
+	if err := binary.Read(br, binary.LittleEndian, &bo.Seed); err != nil {
+		return nil, err
+	}
+	bo.Gamma, bo.Iterations, bo.Algorithm = int(gamma), int(iters), GraphAlgorithm(algo)
+	var nextID uint64
+	if err := binary.Read(br, binary.LittleEndian, &nextID); err != nil {
+		return nil, err
+	}
+	n, err := readU32()
+	if err != nil {
+		return nil, err
+	}
+	ids := make([]int64, n)
+	for i := range ids {
+		var x uint64
+		if err := binary.Read(br, binary.LittleEndian, &x); err != nil {
+			return nil, err
+		}
+		ids[i] = int64(x)
+	}
+	dead := make([]bool, n)
+	anyDead := false
+	for i := range dead {
+		b, err := br.ReadByte()
+		if err != nil {
+			return nil, err
+		}
+		dead[i] = b != 0
+		anyDead = anyDead || dead[i]
+	}
+	c, err := readCollectionBody(br)
+	if err != nil {
+		return nil, err
+	}
+	if c.Modalities() != int(m) || c.Len() != int(n) {
+		return nil, fmt.Errorf("must: engine file inconsistent: schema %d/%d modalities, %d/%d objects",
+			c.Modalities(), m, c.Len(), n)
+	}
+	for i, d := range c.Dims() {
+		if d != schema[i].Dim {
+			return nil, fmt.Errorf("must: engine file inconsistent: modality %q dim %d in schema, %d in collection",
+				schema[i].Name, schema[i].Dim, d)
+		}
+	}
+	e, err := NewEngine(schema, EngineOptions{Weights: w, Build: bo})
+	if err != nil {
+		return nil, err
+	}
+	e.c.objects = c.objects
+	e.nextID = int64(nextID)
+	e.ids = ids
+	for slot, id := range ids {
+		e.lookup[id] = slot
+	}
+	built, err := br.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	if built != 0 {
+		f, err := index.ReadFused(br, e.c.objects)
+		if err != nil {
+			return nil, err
+		}
+		ix := &Index{c: e.c, f: f}
+		ix.SetBuildOptions(bo)
+		if anyDead {
+			ix.dead = dead
+		}
+		e.ix = ix
+		e.resetSearchersLocked()
+	}
+	return e, nil
+}
+
+// LoadEngine reads an engine from the file at path.
+func LoadEngine(path string) (*Engine, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadEngine(f)
 }
 
 // SaveCollection writes c to the file at path.
