@@ -54,22 +54,25 @@ func (ix *Index) SearchBatch(queries []Object, opts SearchOptions, workers int) 
 	errs := make([]error, workers)
 	var wg sync.WaitGroup
 	wg.Add(workers)
+	// Materialize the shared flat store once, before the workers start:
+	// each worker's searcher shares it (NewSearcher via the index), so a
+	// searcher costs only its visit buffers, not a corpus copy.
+	ix.f.Store()
+	params := search.Params{
+		K:          opts.K,
+		L:          opts.L,
+		Weights:    w,
+		Filter:     opts.Filter,
+		Tombstones: ix.dead,
+		Patience:   opts.Patience,
+		Optimize:   !opts.DisableOptimization,
+	}
 	for wk := 0; wk < workers; wk++ {
 		go func(wk int) {
 			defer wg.Done()
-			sOpts := []search.Option{search.WithOptimization(!opts.DisableOptimization)}
-			if ix.dead != nil {
-				sOpts = append(sOpts, search.WithTombstones(ix.dead))
-			}
-			if opts.Filter != nil {
-				sOpts = append(sOpts, search.WithFilter(opts.Filter))
-			}
-			if opts.Patience > 0 {
-				sOpts = append(sOpts, search.WithEarlyTermination(opts.Patience))
-			}
-			s := search.New(ix.f.Graph, ix.f.Objects, w, sOpts...)
+			s := ix.f.NewSearcher()
 			for i := wk; i < len(queries); i += workers {
-				res, _, err := s.Search(converted[i], opts.K, opts.L)
+				res, _, err := s.SearchParams(converted[i], params)
 				if err != nil {
 					errs[wk] = err
 					return

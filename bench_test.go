@@ -4,6 +4,8 @@
 package must_test
 
 import (
+	"fmt"
+	"strconv"
 	"sync"
 	"testing"
 
@@ -106,6 +108,49 @@ func benchSearch(b *testing.B, s *search.Searcher, queries []dataset.EncodedQuer
 		if _, _, err := s.Search(q.Vectors, k, l); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// --- Flat store + fused kernel: the CI-gated headline benchmarks. ---
+
+// BenchmarkSearch compares the fused flat-store kernel (the default
+// search path) against the legacy [][]float32 per-modality path on the
+// same graph and queries, across result-pool sizes l (larger l shifts
+// time from routing bookkeeping into the distance kernel). CI gates on
+// the flat variants' ns/op.
+func BenchmarkSearch(b *testing.B) {
+	f := getFix(b)
+	for _, l := range []int{160, 400, 1600} {
+		b.Run(fmt.Sprintf("flat/l=%d", l), func(b *testing.B) {
+			benchSearch(b, f.fused.NewSearcher(), f.enc.Queries, 10, l)
+		})
+		b.Run(fmt.Sprintf("legacy/l=%d", l), func(b *testing.B) {
+			s := search.New(f.fused.Graph, f.enc.Objects, f.weights, search.WithFlatKernel(false))
+			benchSearch(b, s, f.enc.Queries, 10, l)
+		})
+	}
+}
+
+// BenchmarkBuildWorkers measures graph-construction scaling across
+// worker counts (the parallel candidate-acquisition/selection and
+// NNDescent join stages; output is identical for every worker count).
+func BenchmarkBuildWorkers(b *testing.B) {
+	f := getFix(b)
+	for _, workers := range []int{1, 2, 4, 0} {
+		name := "max"
+		if workers > 0 {
+			name = strconv.Itoa(workers)
+		}
+		b.Run(name, func(b *testing.B) {
+			prev := graph.SetBuildWorkers(workers)
+			defer graph.SetBuildWorkers(prev)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := index.BuildFused(f.enc.Objects, f.weights, graph.Ours(24, 3, 7)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

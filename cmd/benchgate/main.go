@@ -1,0 +1,237 @@
+// Command benchgate compares `go test -bench` output against a committed
+// baseline (BENCH_BASELINE.json) and fails on performance regressions —
+// the CI gate that keeps the fused-kernel search and the parallel build
+// from silently slowing down.
+//
+// Typical use:
+//
+//	go test -bench=. -benchtime=200ms -count=5 ./... | tee bench.txt
+//	go run ./cmd/benchgate -input bench.txt            # gate
+//	go run ./cmd/benchgate -input bench.txt -update    # refresh baseline
+//
+// Multiple runs of the same benchmark (-count) are reduced to their
+// median, which is what benchstat reports and is robust to one noisy run.
+// Only baseline entries marked "gate": true fail the build; everything
+// else is recorded for trend visibility. The tolerance (default 20%) can
+// be overridden with -tolerance or the BENCH_GATE_TOLERANCE env var.
+//
+// Baselines are tied to the runner that produced them (the "runner"
+// field): refresh the baseline whenever the CI runner hardware changes.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Entry is one benchmark's baseline record.
+type Entry struct {
+	NsPerOp float64 `json:"ns_per_op"`
+	// Gate marks the benchmark as build-failing on regression; ungated
+	// entries are informational.
+	Gate bool `json:"gate,omitempty"`
+}
+
+// Baseline is the committed BENCH_BASELINE.json document.
+type Baseline struct {
+	Runner       string           `json:"runner"`
+	Note         string           `json:"note,omitempty"`
+	TolerancePct float64          `json:"tolerance_pct"`
+	Benchmarks   map[string]Entry `json:"benchmarks"`
+}
+
+// gatedByDefault marks the benchmarks that guard the paper's headline
+// claims: single-thread search throughput and index-build time.
+var gatedByDefault = []*regexp.Regexp{
+	regexp.MustCompile(`^BenchmarkSearch/flat/`),
+	regexp.MustCompile(`^BenchmarkFig6MUSTSearch$`),
+	regexp.MustCompile(`^BenchmarkFig7BuildMUST$`),
+	regexp.MustCompile(`^BenchmarkFig10BuildOurs$`),
+}
+
+var benchLine = regexp.MustCompile(`^(Benchmark\S*?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+
+func parseBench(path string) (map[string][]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := make(map[string][]float64)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			continue
+		}
+		out[m[1]] = append(out[m[1]], ns)
+	}
+	return out, sc.Err()
+}
+
+func median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+func isGatedByDefault(name string) bool {
+	for _, re := range gatedByDefault {
+		if re.MatchString(name) {
+			return true
+		}
+	}
+	return false
+}
+
+func main() {
+	input := flag.String("input", "bench.txt", "path to `go test -bench` output")
+	baselinePath := flag.String("baseline", "BENCH_BASELINE.json", "path to the committed baseline")
+	tolerance := flag.Float64("tolerance", 0, "regression tolerance in percent (0 = baseline's tolerance_pct)")
+	update := flag.Bool("update", false, "rewrite the baseline from the input instead of gating")
+	runner := flag.String("runner", "", "runner label recorded on -update (defaults to the existing one)")
+	flag.Parse()
+
+	results, err := parseBench(*input)
+	if err != nil {
+		fatalf("reading %s: %v", *input, err)
+	}
+	if len(results) == 0 {
+		fatalf("no benchmark results found in %s", *input)
+	}
+
+	var base Baseline
+	raw, err := os.ReadFile(*baselinePath)
+	switch {
+	case err == nil:
+		if err := json.Unmarshal(raw, &base); err != nil {
+			fatalf("parsing %s: %v", *baselinePath, err)
+		}
+	case os.IsNotExist(err) && *update:
+		base = Baseline{TolerancePct: 20}
+	default:
+		fatalf("reading %s: %v", *baselinePath, err)
+	}
+
+	if *update {
+		// Rebuild the benchmark set from this run: gate flags carry over
+		// for surviving names, and entries for renamed or deleted
+		// benchmarks are pruned (a stale gated entry would otherwise fail
+		// the gate as MISSING forever).
+		fresh := make(map[string]Entry, len(results))
+		for name, runs := range results {
+			prev, existed := base.Benchmarks[name]
+			gate := prev.Gate
+			if !existed {
+				gate = isGatedByDefault(name)
+			}
+			fresh[name] = Entry{NsPerOp: median(runs), Gate: gate}
+		}
+		for name := range base.Benchmarks {
+			if _, ok := fresh[name]; !ok {
+				fmt.Printf("benchgate: pruning stale baseline entry %s\n", name)
+			}
+		}
+		base.Benchmarks = fresh
+		if *runner != "" {
+			base.Runner = *runner
+		}
+		if base.Note == "" {
+			base.Note = "Median ns/op per benchmark; refresh with: go test -bench=. -benchtime=200ms -count=5 ./... | tee bench.txt && go run ./cmd/benchgate -input bench.txt -update"
+		}
+		out, err := json.MarshalIndent(&base, "", "  ")
+		if err != nil {
+			fatalf("encoding baseline: %v", err)
+		}
+		if err := os.WriteFile(*baselinePath, append(out, '\n'), 0o644); err != nil {
+			fatalf("writing %s: %v", *baselinePath, err)
+		}
+		fmt.Printf("benchgate: wrote %d benchmarks to %s\n", len(results), *baselinePath)
+		return
+	}
+
+	tol := base.TolerancePct
+	if *tolerance > 0 {
+		tol = *tolerance
+	}
+	if env := os.Getenv("BENCH_GATE_TOLERANCE"); env != "" {
+		if v, err := strconv.ParseFloat(env, 64); err == nil && v > 0 {
+			tol = v
+		}
+	}
+	if tol <= 0 {
+		tol = 20
+	}
+
+	names := make([]string, 0, len(base.Benchmarks))
+	for name := range base.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "## Benchmark gate (tolerance %.0f%%, runner %q)\n\n", tol, base.Runner)
+	sb.WriteString("| benchmark | baseline ns/op | current ns/op | delta | gated | status |\n")
+	sb.WriteString("|---|---|---|---|---|---|\n")
+	failures := 0
+	for _, name := range names {
+		e := base.Benchmarks[name]
+		runs, ok := results[name]
+		if !ok {
+			status := "missing"
+			if e.Gate {
+				status = "**MISSING**"
+				failures++
+			}
+			fmt.Fprintf(&sb, "| %s | %.0f | — | — | %v | %s |\n", name, e.NsPerOp, e.Gate, status)
+			continue
+		}
+		cur := median(runs)
+		delta := (cur - e.NsPerOp) / e.NsPerOp * 100
+		status := "ok"
+		switch {
+		case e.Gate && delta > tol:
+			status = "**REGRESSION**"
+			failures++
+		case delta > tol:
+			status = "slower (ungated)"
+		case delta < -tol:
+			status = "faster — consider refreshing the baseline"
+		}
+		fmt.Fprintf(&sb, "| %s | %.0f | %.0f | %+.1f%% | %v | %s |\n", name, e.NsPerOp, cur, delta, e.Gate, status)
+	}
+	report := sb.String()
+	fmt.Print(report)
+	if path := os.Getenv("GITHUB_STEP_SUMMARY"); path != "" {
+		f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+		if err == nil {
+			fmt.Fprintln(f, report)
+			f.Close()
+		}
+	}
+	if failures > 0 {
+		fatalf("%d gated benchmark(s) regressed more than %.0f%% against %s", failures, tol, *baselinePath)
+	}
+	fmt.Println("\nbenchgate: all gated benchmarks within tolerance")
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchgate: "+format+"\n", args...)
+	os.Exit(1)
+}

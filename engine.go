@@ -377,8 +377,11 @@ func (e *Engine) Rebuild() error {
 // graph topology or object slice. Callers must hold the write lock.
 func (e *Engine) resetSearchersLocked() {
 	f := e.ix.f
+	// Materialize the shared flat store now, under the write lock: pool.New
+	// fires from concurrent readers, which must not race a lazy build.
+	store := f.Store()
 	e.searchers = &sync.Pool{New: func() any {
-		return search.New(f.Graph, f.Objects, f.Weights)
+		return search.NewFlat(f.Graph, store, f.Weights)
 	}}
 }
 

@@ -83,19 +83,43 @@ func (d NNDescent) Init(s *Space, gamma int) [][]int32 {
 	if iters <= 0 {
 		iters = 3
 	}
-	lists := make([]*neighborList, n)
+	// Initial random lists, split so the expensive part parallelizes
+	// without perturbing the output: the candidate IDs are drawn from one
+	// sequential RNG (bit-identical to a fully serial build — a duplicate
+	// or self draw consumes exactly one RNG value either way), then the
+	// inner products and sorted-list construction run across workers, each
+	// owning its vertex's list.
 	rng := rand.New(rand.NewSource(d.Seed))
+	draws := make([][]int32, n)
 	for v := 0; v < n; v++ {
-		l := newNeighborList(gamma)
-		for len(l.ids) < gamma && len(l.ids) < n-1 {
+		want := gamma
+		if want > n-1 {
+			want = n - 1
+		}
+		picked := draws[v][:0]
+	draw:
+		for len(picked) < want {
 			u := int32(rng.Intn(n))
 			if u == int32(v) {
 				continue
 			}
+			for _, p := range picked {
+				if p == u {
+					continue draw
+				}
+			}
+			picked = append(picked, u)
+		}
+		draws[v] = picked
+	}
+	lists := make([]*neighborList, n)
+	parallelVertices(n, func(v int) {
+		l := newNeighborList(gamma)
+		for _, u := range draws[v] {
 			l.insert(u, s.IP(int32(v), u))
 		}
 		lists[v] = l
-	}
+	})
 
 	for iter := 0; iter < iters; iter++ {
 		// Snapshot the current lists so the forward join is deterministic
@@ -509,10 +533,31 @@ func sqrt32(x float32) float32 {
 	return float32(math.Sqrt(float64(x)))
 }
 
-// parallelVertices runs fn(v) for every vertex across GOMAXPROCS workers,
-// chunked to amortize scheduling.
+// buildWorkers overrides the worker count of every parallel build stage;
+// 0 means GOMAXPROCS. It exists so tests can pin the build to one worker
+// and assert that parallel and sequential construction produce identical
+// graphs (every parallel stage writes only vertex-owned state, so the
+// output is worker-count-independent by design).
+var buildWorkers atomic.Int32
+
+// SetBuildWorkers caps the number of workers used by graph construction
+// (0 restores the GOMAXPROCS default) and returns the previous setting.
+// It applies process-wide to subsequent builds; builds already running are
+// unaffected.
+func SetBuildWorkers(n int) int {
+	if n < 0 {
+		n = 0
+	}
+	return int(buildWorkers.Swap(int32(n)))
+}
+
+// parallelVertices runs fn(v) for every vertex across GOMAXPROCS workers
+// (or the SetBuildWorkers override), chunked to amortize scheduling.
 func parallelVertices(n int, fn func(v int)) {
-	workers := runtime.GOMAXPROCS(0)
+	workers := int(buildWorkers.Load())
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	if workers > n {
 		workers = n
 	}

@@ -1,0 +1,94 @@
+package graph
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"must/internal/vec"
+)
+
+func determinismFixture(t *testing.T, n int, seed int64) *Space {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	objects := make([]vec.Multi, n)
+	for i := range objects {
+		objects[i] = vec.Multi{vec.RandUnit(rng, 20), vec.RandUnit(rng, 10)}
+	}
+	return NewFusedSpace(objects, vec.Weights{0.8, 0.6})
+}
+
+// The parallel build must produce a graph identical to the sequential
+// build for the same seed: every parallel stage (NNDescent joins,
+// candidate acquisition + selection, medoid inner products) writes only
+// vertex-owned state, so the output may not depend on the worker count.
+func TestParallelBuildMatchesSequential(t *testing.T) {
+	space := determinismFixture(t, 600, 51)
+	pipelines := map[string]func() Pipeline{
+		"Ours":   func() Pipeline { return Ours(14, 3, 52) },
+		"KGraph": func() Pipeline { return KGraphAssembly(14, 3, 52) },
+		"NSG":    func() Pipeline { return NSGAssembly(14, 3, 28, 52) },
+	}
+	for name, mk := range pipelines {
+		prev := SetBuildWorkers(1)
+		seq, err := mk().Build(space)
+		if err != nil {
+			t.Fatalf("%s sequential build: %v", name, err)
+		}
+		SetBuildWorkers(8)
+		par, err := mk().Build(space)
+		SetBuildWorkers(prev)
+		if err != nil {
+			t.Fatalf("%s parallel build: %v", name, err)
+		}
+		if seq.Seed != par.Seed {
+			t.Errorf("%s: seeds differ: sequential %d, parallel %d", name, seq.Seed, par.Seed)
+		}
+		if !reflect.DeepEqual(seq.Adj, par.Adj) {
+			for v := range seq.Adj {
+				if !reflect.DeepEqual(seq.Adj[v], par.Adj[v]) {
+					t.Fatalf("%s: adjacency of vertex %d differs: sequential %v, parallel %v",
+						name, v, seq.Adj[v], par.Adj[v])
+				}
+			}
+		}
+	}
+}
+
+// Rebuilding with the same seed must reproduce the same graph; a
+// different seed must not (the randomness is real, just pinned).
+func TestBuildSeedDeterminism(t *testing.T) {
+	space := determinismFixture(t, 400, 53)
+	a, err := Ours(12, 3, 54).Build(space)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Ours(12, 3, 54).Build(space)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Adj, b.Adj) || a.Seed != b.Seed {
+		t.Error("same seed produced different graphs")
+	}
+	c, err := Ours(12, 3, 99).Build(space)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a.Adj, c.Adj) {
+		t.Error("different seeds produced identical graphs (suspicious)")
+	}
+}
+
+func TestSetBuildWorkersRoundTrip(t *testing.T) {
+	prev := SetBuildWorkers(3)
+	if got := SetBuildWorkers(prev); got != 3 {
+		t.Errorf("SetBuildWorkers returned %d, want 3", got)
+	}
+	if got := SetBuildWorkers(0); got != prev {
+		t.Errorf("restore returned %d, want %d", got, prev)
+	}
+	SetBuildWorkers(-5) // negative clamps to the default
+	if got := SetBuildWorkers(0); got != 0 {
+		t.Errorf("negative worker count stored as %d, want 0", got)
+	}
+}

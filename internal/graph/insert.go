@@ -6,15 +6,18 @@ package graph
 // update. The new vertex beam-searches for its neighborhood, links via
 // MRNG selection, and adds degree-capped reverse edges.
 
-// Append adds a vector to the space and returns its new index. The vector
-// must have the space's dimension and the same self-inner-product as the
-// rest of the space (a weighted concatenation of unit vectors).
+// Append copies a vector into the space's flat buffer and returns its new
+// index. The vector must have the space's dimension and the same
+// self-inner-product as the rest of the space (a weighted concatenation of
+// unit vectors). Append may reallocate the buffer; views previously
+// returned by Vector are no longer tied to the space afterwards.
 func (s *Space) Append(v []float32) int32 {
 	if len(v) != s.Dim() {
 		panic("graph: Append dimension mismatch")
 	}
-	s.data = append(s.data, v)
-	return int32(len(s.data) - 1)
+	s.buf = append(s.buf, v...)
+	s.n++
+	return int32(s.n - 1)
 }
 
 // Insert links an already-appended vertex id into the graph: it routes a

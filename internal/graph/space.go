@@ -17,16 +17,26 @@ import (
 // per-modality index they are that modality's vectors. Similarity is the
 // inner product.
 //
+// Vectors are stored flat: one contiguous []float32 holding all rows
+// back-to-back, so the IP-heavy build loops walk sequential memory instead
+// of chasing a pointer per vector. Vector returns views computed on
+// demand, which keeps Append safe (a reallocation of the backing array
+// never invalidates previously working code, only previously returned
+// views — callers re-fetch per use).
+//
 // All vectors in a Space must have the same self-inner-product (true for
 // weighted concatenations of unit vectors, where IP(ô,ô) = Σω_i²); several
 // components rely on this to convert between IPs, distances and angles.
 type Space struct {
-	data   [][]float32
+	buf    []float32
+	dim    int
+	n      int
 	selfIP float32
 }
 
-// NewSpace wraps the given vectors. It panics if vectors is empty or
-// dimensions are inconsistent, which would indicate a bug in the caller.
+// NewSpace packs the given vectors into a fresh flat space. It panics if
+// vectors is empty or dimensions are inconsistent, which would indicate a
+// bug in the caller.
 func NewSpace(vectors [][]float32) *Space {
 	if len(vectors) == 0 {
 		panic("graph: empty space")
@@ -37,17 +47,45 @@ func NewSpace(vectors [][]float32) *Space {
 			panic(fmt.Sprintf("graph: vector %d has dim %d, want %d", i, len(v), d))
 		}
 	}
-	return &Space{data: vectors, selfIP: vec.Dot(vectors[0], vectors[0])}
+	s := &Space{buf: make([]float32, 0, len(vectors)*d), dim: d, n: len(vectors)}
+	for _, v := range vectors {
+		s.buf = append(s.buf, v...)
+	}
+	s.selfIP = vec.Dot(s.Vector(0), s.Vector(0))
+	return s
 }
 
 // NewFusedSpace builds the fused space over multi-vector objects under the
-// given weights: each object becomes its weighted concatenation.
+// given weights: each object becomes its weighted concatenation, written
+// directly into the flat buffer by GOMAXPROCS workers (each row is owned
+// by exactly one worker, so the pack is deterministic).
 func NewFusedSpace(objects []vec.Multi, w vec.Weights) *Space {
-	data := make([][]float32, len(objects))
-	for i, o := range objects {
-		data[i] = vec.WeightedConcat(w, o)
+	if len(objects) == 0 {
+		panic("graph: empty space")
 	}
-	return NewSpace(data)
+	d := objects[0].TotalDim()
+	for i, o := range objects {
+		if o.TotalDim() != d {
+			panic(fmt.Sprintf("graph: object %d has total dim %d, want %d", i, o.TotalDim(), d))
+		}
+	}
+	s := &Space{buf: make([]float32, len(objects)*d), dim: d, n: len(objects)}
+	parallelVertices(len(objects), func(i int) {
+		row := s.buf[i*d : (i+1)*d]
+		off := 0
+		for m, v := range objects[i] {
+			wi := float32(0)
+			if m < len(w) {
+				wi = w[m]
+			}
+			for _, x := range v {
+				row[off] = wi * x
+				off++
+			}
+		}
+	})
+	s.selfIP = vec.Dot(s.Vector(0), s.Vector(0))
+	return s
 }
 
 // NewModalitySpace builds a single-modality space over multi-vector
@@ -61,53 +99,70 @@ func NewModalitySpace(objects []vec.Multi, modality int) *Space {
 }
 
 // Len returns the number of vectors.
-func (s *Space) Len() int { return len(s.data) }
+func (s *Space) Len() int { return s.n }
 
 // Dim returns the vector dimension.
-func (s *Space) Dim() int { return len(s.data[0]) }
+func (s *Space) Dim() int { return s.dim }
 
 // IP returns the inner product between stored vectors i and j.
 func (s *Space) IP(i, j int32) float32 {
-	return vec.Dot(s.data[i], s.data[j])
+	a := int(i) * s.dim
+	b := int(j) * s.dim
+	return vec.Dot(s.buf[a:a+s.dim], s.buf[b:b+s.dim])
 }
 
 // IPTo returns the inner product between stored vector i and an external
 // query vector q of the same dimension.
 func (s *Space) IPTo(i int32, q []float32) float32 {
-	return vec.Dot(s.data[i], q)
+	a := int(i) * s.dim
+	return vec.Dot(s.buf[a:a+s.dim], q)
 }
 
-// Vector returns the stored vector i (shared, not copied).
-func (s *Space) Vector(i int32) []float32 { return s.data[i] }
+// Vector returns a view of stored vector i. The view is only valid until
+// the next Append (which may reallocate the flat buffer); re-fetch rather
+// than caching across mutations.
+func (s *Space) Vector(i int32) []float32 {
+	a := int(i) * s.dim
+	return s.buf[a : a+s.dim : a+s.dim]
+}
 
 // SelfIP returns IP(v, v), identical for every vector in the space.
 func (s *Space) SelfIP() float32 { return s.selfIP }
 
 // Centroid returns the (unnormalized) mean of all vectors, used by the
-// seed-preprocessing component (④).
+// seed-preprocessing component (④). The accumulation is sequential so the
+// result — and everything seeded from it — is independent of worker count.
 func (s *Space) Centroid() []float32 {
-	c := make([]float32, s.Dim())
-	for _, v := range s.data {
-		for i, x := range v {
-			c[i] += x
+	c := make([]float32, s.dim)
+	for i := 0; i < s.n; i++ {
+		row := s.buf[i*s.dim : (i+1)*s.dim]
+		for j, x := range row {
+			c[j] += x
 		}
 	}
-	inv := 1 / float32(s.Len())
-	for i := range c {
-		c[i] *= inv
+	inv := 1 / float32(s.n)
+	for j := range c {
+		c[j] *= inv
 	}
 	return c
 }
 
 // Medoid returns the index of the vector with the highest inner product to
 // the centroid — the fixed seed of component ④ (Algorithm 1, line 18).
+// The n inner products are computed in parallel (each worker writes only
+// its own entries); the argmax reduction is sequential, so the result is
+// deterministic for any worker count.
 func (s *Space) Medoid() int32 {
 	c := s.Centroid()
+	ips := make([]float32, s.n)
+	parallelVertices(s.n, func(i int) {
+		ips[i] = s.IPTo(int32(i), c)
+	})
 	best := int32(0)
-	bestIP := vec.Dot(s.data[0], c)
-	for i := 1; i < s.Len(); i++ {
-		if ip := vec.Dot(s.data[i], c); ip > bestIP {
-			bestIP = ip
+	bestIP := ips[0]
+	for i := 1; i < s.n; i++ {
+		if ips[i] > bestIP {
+			bestIP = ips[i]
 			best = int32(i)
 		}
 	}

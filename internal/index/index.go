@@ -34,6 +34,9 @@ type Fused struct {
 	// space caches the weighted-concatenation space for incremental
 	// inserts; rebuilt lazily after deserialization.
 	space *graph.Space
+	// store is the packed flat copy of Objects every searcher scores
+	// against; built once per index so pooled searchers share it.
+	store *vec.FlatStore
 }
 
 // BuildFused constructs the fused index over objects with the given
@@ -55,6 +58,7 @@ func BuildFused(objects []vec.Multi, w vec.Weights, p graph.Pipeline) (*Fused, e
 		BuildTime: time.Since(start),
 		Pipeline:  p.Name,
 		space:     space,
+		store:     vec.FlatFromMulti(objects),
 	}, nil
 }
 
@@ -74,12 +78,53 @@ func BuildFusedGraph(objects []vec.Multi, w vec.Weights, name string, build func
 		Objects:   objects,
 		BuildTime: time.Since(start),
 		Pipeline:  name,
+		store:     vec.FlatFromMulti(objects),
 	}, nil
 }
 
+// Store returns the index's packed flat vector store, building it on
+// first use. Not safe to call concurrently with itself or with Insert;
+// the Engine materializes it under its write lock before pooling
+// searchers.
+func (f *Fused) Store() *vec.FlatStore {
+	if f.store == nil {
+		f.store = vec.FlatFromMulti(f.Objects)
+	}
+	return f.store
+}
+
+// AdoptStore installs a pre-packed flat store as the index's search
+// storage, avoiding the copy Store would otherwise make. The store's rows
+// must be exactly Objects in order — the v3 collection loader's arena
+// satisfies this by construction.
+func (f *Fused) AdoptStore(st *vec.FlatStore) error {
+	if st == nil {
+		return fmt.Errorf("index: cannot adopt a nil store")
+	}
+	if st.Len() != len(f.Objects) {
+		return fmt.Errorf("index: store has %d rows, index has %d objects", st.Len(), len(f.Objects))
+	}
+	if len(f.Objects) > 0 {
+		dims := f.Objects[0].Dims()
+		sd := st.Dims()
+		if len(sd) != len(dims) {
+			return fmt.Errorf("index: store has %d modalities, objects have %d", len(sd), len(dims))
+		}
+		for i := range dims {
+			if sd[i] != dims[i] {
+				return fmt.Errorf("index: store modality %d dim %d, objects have %d", i, sd[i], dims[i])
+			}
+		}
+	}
+	f.store = st
+	return nil
+}
+
 // NewSearcher returns a fresh single-goroutine searcher over the index.
+// All searchers share the index's flat store, so creating one costs only
+// its visit buffers.
 func (f *Fused) NewSearcher(opts ...search.Option) *search.Searcher {
-	return search.New(f.Graph, f.Objects, f.Weights, opts...)
+	return search.NewFlat(f.Graph, f.Store(), f.Weights, opts...)
 }
 
 // SizeBytes reports the index size (graph memory only, matching how the
@@ -113,6 +158,9 @@ func (f *Fused) Insert(o vec.Multi, gamma, beam int) (int, error) {
 		f.space = graph.NewFusedSpace(f.Objects, f.Weights)
 	}
 	f.Objects = append(f.Objects, o)
+	if f.store != nil {
+		f.store.AppendMulti(o)
+	}
 	id := f.space.Append(vec.WeightedConcat(f.Weights, o))
 	graph.Insert(f.space, f.Graph, id, gamma, beam)
 	return int(id), nil

@@ -8,7 +8,6 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
-	"sort"
 
 	"must/internal/graph"
 	"must/internal/vec"
@@ -29,10 +28,26 @@ type Stats struct {
 
 // Searcher executes joint searches over a fused index. It is not safe for
 // concurrent use; create one Searcher per goroutine (they share the
-// underlying graph and object vectors, which are read-only).
+// underlying graph and the read-only vector storage — pooled searchers
+// over one shared FlatStore cost only their visit buffers).
+//
+// Candidate scoring runs on a contiguous vec.FlatStore through the fused
+// vec.FlatScanner kernel: one ω²-scaled multiply-add sweep per candidate
+// row, with the Lemma 4 early exit checked at modality boundaries. The
+// legacy [][]float32 per-modality path is kept behind WithFlatKernel(false)
+// for comparison benchmarks.
 type Searcher struct {
-	g       *graph.Graph
+	g *graph.Graph
+	// store is the packed vector storage the flat kernel scores against.
+	store *vec.FlatStore
+	// objects is the multi-vector view of the same data, used by the
+	// legacy kernel and for per-modality breakdowns; nil when constructed
+	// with NewFlat (views are derived from the store on demand).
 	objects []vec.Multi
+	// n is the object count at construction time; searchers never see
+	// objects appended later (create a new searcher after inserts).
+	n       int
+	useFlat bool
 	weights vec.Weights
 	// optimize toggles the Lemma 4 partial-IP early termination
 	// (§VIII-G, Fig. 10(c)).
@@ -55,6 +70,7 @@ type Searcher struct {
 	visited []bool // H of Algorithm 2
 	seen    []bool // vertices whose IP has been computed
 	touched []int32
+	batch   []int32 // unseen neighbors of the current hop, gathered first
 }
 
 // Option configures a Searcher.
@@ -96,12 +112,25 @@ func WithEarlyTermination(patience int) Option {
 	return func(s *Searcher) { s.patience = patience }
 }
 
+// WithFlatKernel selects between the fused flat-store kernel (true, the
+// default) and the legacy per-modality [][]float32 scan. The legacy path
+// exists for the BenchmarkSearch flat-vs-legacy comparison and as a
+// cross-check in tests; both produce the same results.
+func WithFlatKernel(on bool) Option {
+	return func(s *Searcher) { s.useFlat = on }
+}
+
 // New creates a Searcher over a built graph, the object multi-vectors it
-// indexes, and the modality weights.
+// indexes, and the modality weights. The objects are packed into a private
+// FlatStore for the fused kernel; when many searchers share one corpus
+// (e.g. a server-side pool), build the store once and use NewFlat instead.
 func New(g *graph.Graph, objects []vec.Multi, w vec.Weights, opts ...Option) *Searcher {
 	s := &Searcher{
 		g:        g,
+		store:    vec.FlatFromMulti(objects),
 		objects:  objects,
+		n:        len(objects),
+		useFlat:  true,
 		weights:  w,
 		optimize: true,
 		rng:      rand.New(rand.NewSource(1)),
@@ -112,6 +141,40 @@ func New(g *graph.Graph, objects []vec.Multi, w vec.Weights, opts ...Option) *Se
 		o(s)
 	}
 	return s
+}
+
+// NewFlat creates a Searcher sharing an already packed FlatStore — the
+// zero-copy constructor the Engine's searcher pool uses. store may be nil
+// only for an empty index.
+func NewFlat(g *graph.Graph, store *vec.FlatStore, w vec.Weights, opts ...Option) *Searcher {
+	n := 0
+	if store != nil {
+		n = store.Len()
+	}
+	s := &Searcher{
+		g:        g,
+		store:    store,
+		n:        n,
+		useFlat:  true,
+		weights:  w,
+		optimize: true,
+		rng:      rand.New(rand.NewSource(1)),
+		visited:  make([]bool, n),
+		seen:     make([]bool, n),
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// object returns object id as a multi-vector, preferring the caller-shared
+// slice and falling back to flat-store views.
+func (s *Searcher) object(id int32) vec.Multi {
+	if s.objects != nil {
+		return s.objects[id]
+	}
+	return s.store.Multi(int(id))
 }
 
 // Result is one returned object with its joint similarity.
@@ -189,15 +252,21 @@ func (s *Searcher) SearchParams(query vec.Multi, p Params) ([]Result, Stats, err
 	if l < k {
 		return nil, Stats{}, fmt.Errorf("search: l (%d) must be at least k (%d)", l, k)
 	}
-	if len(query) != 0 && len(s.objects) > 0 && len(query) != len(s.objects[0]) {
-		return nil, Stats{}, fmt.Errorf("search: query has %d modalities, objects have %d", len(query), len(s.objects[0]))
+	modalities := 0
+	if s.store != nil {
+		modalities = s.store.Modalities()
+	} else if len(s.objects) > 0 {
+		modalities = len(s.objects[0])
+	}
+	if len(query) != 0 && modalities > 0 && len(query) != modalities {
+		return nil, Stats{}, fmt.Errorf("search: query has %d modalities, objects have %d", len(query), modalities)
 	}
 	if p.Ctx != nil {
 		if err := p.Ctx.Err(); err != nil {
 			return nil, Stats{}, fmt.Errorf("search: %w", err)
 		}
 	}
-	n := len(s.objects)
+	n := s.n
 	if n == 0 {
 		return nil, Stats{}, nil
 	}
@@ -210,7 +279,18 @@ func (s *Searcher) SearchParams(query vec.Multi, p Params) ([]Result, Stats, err
 	}
 
 	var stats Stats
-	scanner := vec.NewPartialIPScanner(weights, query)
+	// Kernel selection: the fused flat scanner sweeps each candidate's
+	// packed row once; the legacy scanner dispatches per modality slice.
+	// Both use the same distance formulation and accumulation order, so
+	// the optimized and unoptimized paths agree bit-for-bit within either
+	// kernel.
+	var flat *vec.FlatScanner
+	var legacy *vec.PartialIPScanner
+	if s.useFlat && s.store != nil {
+		flat = vec.NewFlatScanner(s.store, weights, query)
+	} else {
+		legacy = vec.NewPartialIPScanner(weights, query)
+	}
 
 	// Reset the visit/seen markers from the previous search.
 	for _, v := range s.touched {
@@ -219,21 +299,39 @@ func (s *Searcher) SearchParams(query vec.Multi, p Params) ([]Result, Stats, err
 	}
 	s.touched = s.touched[:0]
 
-	// evalFull computes the exact joint IP (distance form, so the
-	// optimized and unoptimized paths agree bit-for-bit).
+	// evalFull computes the exact joint IP with no early termination.
 	evalFull := func(id int32) float32 {
 		stats.FullEvals++
-		return scanner.FullIP(s.objects[id])
+		if flat != nil {
+			return flat.FullIP(s.store.Row(int(id)))
+		}
+		return legacy.FullIP(s.object(id))
 	}
 
-	// R: the result pool, sorted by descending IP, capacity l.
+	// R: the result pool, sorted by descending IP, capacity l. cursor is
+	// the lowest index that may hold an unvisited entry: everything before
+	// it is visited, so the per-hop "nearest unvisited vertex" lookup
+	// resumes from cursor instead of rescanning the pool from the top
+	// (which costs O(l) per hop and dominated routing at large l).
 	type entry struct {
 		id int32
 		ip float32
 	}
 	pool := make([]entry, 0, l)
+	cursor := 0
 	insert := func(id int32, ip float32) {
-		pos := sort.Search(len(pool), func(i int) bool { return pool[i].ip < ip })
+		// Hand-rolled binary search for the first entry with a smaller IP
+		// (sort.Search's closure indirection shows up at this call rate).
+		lo, hi := 0, len(pool)
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if pool[mid].ip < ip {
+				hi = mid
+			} else {
+				lo = mid + 1
+			}
+		}
+		pos := lo
 		if len(pool) < l {
 			pool = append(pool, entry{})
 		} else if pos >= l {
@@ -241,6 +339,9 @@ func (s *Searcher) SearchParams(query vec.Multi, p Params) ([]Result, Stats, err
 		}
 		copy(pool[pos+1:], pool[pos:])
 		pool[pos] = entry{id, ip}
+		if pos < cursor {
+			cursor = pos
+		}
 	}
 	mark := func(id int32) {
 		s.seen[id] = true
@@ -270,31 +371,44 @@ func (s *Searcher) SearchParams(query vec.Multi, p Params) ([]Result, Stats, err
 				return nil, stats, fmt.Errorf("search: %w", err)
 			}
 		}
-		// v ← nearest unvisited vertex in R.
-		idx := -1
-		for i := range pool {
-			if !s.visited[pool[i].id] {
-				idx = i
-				break
-			}
+		// v ← nearest unvisited vertex in R (first unvisited at or after
+		// cursor; the cursor invariant keeps everything before it visited).
+		for cursor < len(pool) && s.visited[pool[cursor].id] {
+			cursor++
 		}
-		if idx == -1 {
+		if cursor == len(pool) {
 			break
 		}
-		v := pool[idx].id
+		v := pool[cursor].id
 		s.visited[v] = true
 		stats.Hops++
 		threshold := pool[len(pool)-1].ip // worst of R (z in Algorithm 2)
 		full := len(pool) == l
 		improved := false
+		// Gather the unseen neighbors first, then score the batch: the
+		// candidate IDs are resolved up front so the scoring loop is a
+		// straight run of row sweeps over the packed store, which the
+		// hardware prefetcher handles far better than scoring interleaved
+		// with adjacency-list chasing.
+		batch := s.batch[:0]
 		for _, u := range s.g.Adj[v] {
 			if s.seen[u] {
 				continue
 			}
 			mark(u)
+			batch = append(batch, u)
+		}
+		s.batch = batch
+		for _, u := range batch {
 			var ip float32
 			if p.Optimize && full {
-				bound, exact := scanner.Scan(s.objects[u], threshold)
+				var bound float32
+				var exact bool
+				if flat != nil {
+					bound, exact = flat.Scan(s.store.Row(int(u)), threshold)
+				} else {
+					bound, exact = legacy.Scan(s.object(u), threshold)
+				}
 				if !exact {
 					stats.PartialSkips++
 					continue
@@ -334,7 +448,7 @@ func (s *Searcher) SearchParams(query vec.Multi, p Params) ([]Result, Stats, err
 		}
 		r := Result{ID: int(e.id), IP: e.ip}
 		if p.Breakdown {
-			r.PerModality = Breakdown(weights, query, s.objects[e.id])
+			r.PerModality = Breakdown(weights, query, s.object(e.id))
 		}
 		out = append(out, r)
 	}

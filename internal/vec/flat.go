@@ -1,0 +1,275 @@
+package vec
+
+import "fmt"
+
+// FlatStore packs the multi-vectors of many objects into one contiguous
+// []float32: object i occupies the row buf[i*rowDim : (i+1)*rowDim], and
+// modality m of that object is the sub-range [offs[m], offs[m+1]) of the
+// row. Flat storage removes the two levels of pointer chasing a
+// [][]float32-of-[]float32 layout costs on every distance computation and
+// keeps each candidate's modalities on adjacent cache lines, which is what
+// the fused FlatScanner kernel relies on for its throughput.
+//
+// A FlatStore is safe for concurrent readers. Append invalidates nothing —
+// Row and Multi compute views on demand — but must not race with readers;
+// callers serialize mutation externally (the Engine holds its write lock).
+type FlatStore struct {
+	dims   []int
+	offs   []int // len(dims)+1 prefix offsets into a row
+	rowDim int
+	buf    []float32
+	n      int
+}
+
+// NewFlatStore creates an empty store for objects with the given
+// per-modality dimensions, pre-allocating room for capacity rows.
+func NewFlatStore(dims []int, capacity int) *FlatStore {
+	if len(dims) == 0 {
+		panic("vec: flat store needs at least one modality")
+	}
+	offs := make([]int, len(dims)+1)
+	for i, d := range dims {
+		if d <= 0 {
+			panic(fmt.Sprintf("vec: flat store modality %d has non-positive dim %d", i, d))
+		}
+		offs[i+1] = offs[i] + d
+	}
+	rowDim := offs[len(dims)]
+	if capacity < 0 {
+		capacity = 0
+	}
+	return &FlatStore{
+		dims:   append([]int(nil), dims...),
+		offs:   offs,
+		rowDim: rowDim,
+		buf:    make([]float32, 0, capacity*rowDim),
+	}
+}
+
+// FlatFromMulti packs objects into a fresh store. It returns nil for an
+// empty object slice (there are no dimensions to derive a layout from).
+func FlatFromMulti(objects []Multi) *FlatStore {
+	if len(objects) == 0 {
+		return nil
+	}
+	s := NewFlatStore(objects[0].Dims(), len(objects))
+	for _, o := range objects {
+		s.AppendMulti(o)
+	}
+	return s
+}
+
+// FlatStoreFromArena wraps an already packed arena — rows of the given
+// per-modality dimensions laid out back-to-back — without copying. The
+// v3 collection loader produces exactly this layout, so a loaded engine
+// adopts its arena as the search store for free. len(arena) must be a
+// multiple of the row dimension.
+func FlatStoreFromArena(dims []int, arena []float32) *FlatStore {
+	s := NewFlatStore(dims, 0)
+	if len(arena)%s.rowDim != 0 {
+		panic(fmt.Sprintf("vec: arena of %d floats is not a whole number of %d-float rows", len(arena), s.rowDim))
+	}
+	s.buf = arena
+	s.n = len(arena) / s.rowDim
+	return s
+}
+
+// Len returns the number of stored objects.
+func (s *FlatStore) Len() int { return s.n }
+
+// Modalities returns the number of modalities per object.
+func (s *FlatStore) Modalities() int { return len(s.dims) }
+
+// Dims returns the per-modality dimensions.
+func (s *FlatStore) Dims() []int { return append([]int(nil), s.dims...) }
+
+// RowDim returns the length of one packed row (the concatenated dim).
+func (s *FlatStore) RowDim() int { return s.rowDim }
+
+// Row returns object i's packed row (a view, not a copy).
+func (s *FlatStore) Row(i int) []float32 {
+	off := i * s.rowDim
+	return s.buf[off : off+s.rowDim : off+s.rowDim]
+}
+
+// Modality returns modality m of object i (a view, not a copy).
+func (s *FlatStore) Modality(i, m int) []float32 {
+	off := i * s.rowDim
+	a, b := off+s.offs[m], off+s.offs[m+1]
+	return s.buf[a:b:b]
+}
+
+// Multi returns object i as a Multi whose per-modality slices are views
+// into the packed row, so FlatFromMulti followed by Multi round-trips
+// without copying.
+func (s *FlatStore) Multi(i int) Multi {
+	out := make(Multi, len(s.dims))
+	for m := range s.dims {
+		out[m] = s.Modality(i, m)
+	}
+	return out
+}
+
+// AppendMulti validates o against the store layout, packs it into a new
+// row and returns the new object's index.
+func (s *FlatStore) AppendMulti(o Multi) int {
+	if len(o) != len(s.dims) {
+		panic(fmt.Sprintf("vec: flat append with %d modalities, store has %d", len(o), len(s.dims)))
+	}
+	for m, v := range o {
+		if len(v) != s.dims[m] {
+			panic(fmt.Sprintf("vec: flat append modality %d has dim %d, store expects %d", m, len(v), s.dims[m]))
+		}
+	}
+	for _, v := range o {
+		s.buf = append(s.buf, v...)
+	}
+	s.n++
+	return s.n - 1
+}
+
+// PackQuery flattens a query multi-vector into one row in the store's
+// layout. Missing (nil) modalities become zero ranges; combined with a
+// zero weight they neither score nor steer routing (§VII-B).
+func (s *FlatStore) PackQuery(q Multi) []float32 {
+	if len(q) != len(s.dims) {
+		panic(fmt.Sprintf("vec: query has %d modalities, store has %d", len(q), len(s.dims)))
+	}
+	row := make([]float32, s.rowDim)
+	for m, v := range q {
+		if v == nil {
+			continue
+		}
+		if len(v) != s.dims[m] {
+			panic(fmt.Sprintf("vec: query modality %d has dim %d, store expects %d", m, len(v), s.dims[m]))
+		}
+		copy(row[s.offs[m]:s.offs[m+1]], v)
+	}
+	return row
+}
+
+// ---------------------------------------------------------------------------
+// Fused joint-similarity kernel.
+
+// flatSeg is one active (non-zero-weight) modality range of a packed row.
+type flatSeg struct {
+	a, b int
+	// halfC is ½·ω_i²·(‖q_i‖² + 1): the constant part of the distance-form
+	// joint IP for this modality on unit-norm stored vectors, hoisted out
+	// of the per-candidate loop.
+	halfC float32
+}
+
+// FlatScanner evaluates the Lemma 1 joint similarity Σ ω_i²·IP_i between
+// a fixed query and packed candidate rows in a single fused pass: the
+// query is pre-scaled by ω_i² per modality, so each candidate costs one
+// unrolled multiply-add sweep over its contiguous row — no per-modality
+// slice dispatch and no weight multiplies in the inner loop.
+//
+// Like PartialIPScanner it works in the distance formulation of Eq. 8,
+// IP_joint = Σω_i² − ½·Σω_i²·‖q_i−u_i‖², expanded with the stored rows'
+// unit per-modality norms (Collection.Add normalizes; so does the paper).
+// Scan implements the Lemma 4 early termination by checking the shrinking
+// upper bound at modality-segment boundaries only.
+type FlatScanner struct {
+	sq    []float32 // ω_i²-scaled packed query (zero on inactive ranges)
+	segs  []flatSeg
+	sumW2 float32
+}
+
+// NewFlatScanner prepares a fused scanner for queries against rows laid
+// out like st. Modalities at or beyond len(w), or with a zero weight, are
+// skipped entirely (the t != m case of §VII-B).
+func NewFlatScanner(st *FlatStore, w Weights, query Multi) *FlatScanner {
+	sq := st.PackQuery(query)
+	fs := &FlatScanner{sq: sq, sumW2: w.SumSquared()}
+	for m := range st.dims {
+		if m >= len(w) || w[m] == 0 {
+			for i := st.offs[m]; i < st.offs[m+1]; i++ {
+				sq[i] = 0
+			}
+			continue
+		}
+		w2 := w[m] * w[m]
+		var qq float32
+		for i := st.offs[m]; i < st.offs[m+1]; i++ {
+			qq += sq[i] * sq[i]
+			sq[i] *= w2
+		}
+		fs.segs = append(fs.segs, flatSeg{a: st.offs[m], b: st.offs[m+1], halfC: 0.5 * w2 * (qq + 1)})
+	}
+	return fs
+}
+
+// SumW2 returns Σ ω_i², the joint IP of the query with itself under unit
+// norms and the upper bound Scan starts from.
+func (fs *FlatScanner) SumW2() float32 { return fs.sumW2 }
+
+// FullIP computes the exact joint IP against a packed row with no early
+// termination. It accumulates per-segment in the same order as Scan, so
+// the two agree bit-for-bit on the exact path. The unrolled sweep is
+// written out inline — at production embedding dims a call per segment is
+// measurable against a 40–300-float multiply-add loop.
+func (fs *FlatScanner) FullIP(row []float32) float32 {
+	ip := fs.sumW2
+	sq := fs.sq
+	for _, sg := range fs.segs {
+		a := sq[sg.a:sg.b]
+		b := row[sg.a:sg.b]
+		b = b[:len(a)]
+		var s0, s1, s2, s3 float32
+		i := 0
+		for ; i+4 <= len(a); i += 4 {
+			s0 += a[i] * b[i]
+			s1 += a[i+1] * b[i+1]
+			s2 += a[i+2] * b[i+2]
+			s3 += a[i+3] * b[i+3]
+		}
+		s := (s0 + s1) + (s2 + s3)
+		for ; i < len(a); i++ {
+			s += a[i] * b[i]
+		}
+		ip += s - sg.halfC
+	}
+	return ip
+}
+
+// Scan evaluates the joint IP against row, checking the Lemma 4 upper
+// bound after each modality segment: if the bound drops to or below
+// threshold, Scan returns (bound, false) without touching the remaining
+// segments and the caller may discard the candidate. Otherwise it returns
+// the exact joint IP and true. Like PartialIPScanner.Scan, the bound is
+// checked after every segment including the last, so exact == true
+// implies ip > threshold.
+func (fs *FlatScanner) Scan(row []float32, threshold float32) (ip float32, exact bool) {
+	ip = fs.sumW2
+	sq := fs.sq
+	for _, sg := range fs.segs {
+		a := sq[sg.a:sg.b]
+		b := row[sg.a:sg.b]
+		b = b[:len(a)]
+		var s0, s1, s2, s3 float32
+		i := 0
+		for ; i+4 <= len(a); i += 4 {
+			s0 += a[i] * b[i]
+			s1 += a[i+1] * b[i+1]
+			s2 += a[i+2] * b[i+2]
+			s3 += a[i+3] * b[i+3]
+		}
+		s := (s0 + s1) + (s2 + s3)
+		for ; i < len(a); i++ {
+			s += a[i] * b[i]
+		}
+		ip += s - sg.halfC
+		if ip <= threshold {
+			return ip, false
+		}
+	}
+	return ip, true
+}
+
+// The kernel's inner loop (written out inline in FullIP and Scan) uses a
+// 4-way unroll with four independent accumulators: a single running sum
+// serializes on floating-point add latency and roughly halves scalar
+// throughput. Scan and FullIP share the exact accumulation order, so the
+// optimized and unoptimized search paths agree bit-for-bit.

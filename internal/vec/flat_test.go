@@ -1,0 +1,237 @@
+package vec
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func randomMulti(rng *rand.Rand, dims []int) Multi {
+	out := make(Multi, len(dims))
+	for i, d := range dims {
+		out[i] = RandUnit(rng, d)
+	}
+	return out
+}
+
+// Round trip: Multi → flat row → Multi must be exact, and the store's
+// views must alias the packed buffer, not copy it.
+func TestFlatStoreRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	dims := []int{24, 12, 7}
+	objects := make([]Multi, 9)
+	for i := range objects {
+		objects[i] = randomMulti(rng, dims)
+	}
+	st := FlatFromMulti(objects)
+	if st.Len() != len(objects) || st.Modalities() != len(dims) || st.RowDim() != 43 {
+		t.Fatalf("store shape: len=%d m=%d rowDim=%d", st.Len(), st.Modalities(), st.RowDim())
+	}
+	for i, o := range objects {
+		got := st.Multi(i)
+		for m := range dims {
+			for j := range o[m] {
+				if got[m][j] != o[m][j] {
+					t.Fatalf("object %d modality %d coord %d: %v != %v", i, m, j, got[m][j], o[m][j])
+				}
+			}
+			if &got[m][0] != &st.Row(i)[st.offs[m]] {
+				t.Fatalf("object %d modality %d view does not alias the packed row", i, m)
+			}
+		}
+	}
+	// Append after the fact and round-trip the new row too.
+	extra := randomMulti(rng, dims)
+	id := st.AppendMulti(extra)
+	if id != len(objects) {
+		t.Fatalf("append id = %d, want %d", id, len(objects))
+	}
+	back := st.Multi(id)
+	for m := range dims {
+		for j := range extra[m] {
+			if back[m][j] != extra[m][j] {
+				t.Fatalf("appended object modality %d differs", m)
+			}
+		}
+	}
+}
+
+func TestFlatFromMultiEmpty(t *testing.T) {
+	if st := FlatFromMulti(nil); st != nil {
+		t.Fatalf("empty pack returned non-nil store")
+	}
+}
+
+func TestFlatStorePackQueryMissingModality(t *testing.T) {
+	st := NewFlatStore([]int{3, 2}, 0)
+	row := st.PackQuery(Multi{[]float32{1, 2, 3}, nil})
+	want := []float32{1, 2, 3, 0, 0}
+	for i := range want {
+		if row[i] != want[i] {
+			t.Fatalf("packed query = %v, want %v", row, want)
+		}
+	}
+}
+
+// The fused kernel must agree with the naive per-modality Lemma 1 sum
+// within 1e-5 on normalized vectors, across weight shapes including zero
+// and missing (short-weight-vector) modalities.
+func TestFlatScannerMatchesNaiveJointIP(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	dims := []int{16, 9, 5}
+	objects := make([]Multi, 64)
+	for i := range objects {
+		objects[i] = randomMulti(rng, dims)
+	}
+	st := FlatFromMulti(objects)
+	weightSets := []Weights{
+		{0.8, 0.6, 0.3},
+		{1, 0, 0.5}, // zero-weight modality skipped
+		{0.7, 0.7},  // modality beyond len(w) skipped
+		Uniform(3),
+	}
+	for wi, w := range weightSets {
+		q := randomMulti(rng, dims)
+		fs := NewFlatScanner(st, w, q)
+		legacy := NewPartialIPScanner(w, q)
+		for i := range objects {
+			naive := float64(JointIP(w, q, objects[i]))
+			fused := float64(fs.FullIP(st.Row(i)))
+			if math.Abs(naive-fused) > 1e-5 {
+				t.Fatalf("weights %d object %d: fused %v vs naive %v (Δ=%g)", wi, i, fused, naive, math.Abs(naive-fused))
+			}
+			old := float64(legacy.FullIP(objects[i]))
+			if math.Abs(old-fused) > 1e-5 {
+				t.Fatalf("weights %d object %d: fused %v vs legacy scanner %v", wi, i, fused, old)
+			}
+		}
+	}
+}
+
+// Scan run to completion must equal FullIP bit-for-bit (the search relies
+// on the optimized and unoptimized paths agreeing exactly), and an early
+// exit must only happen when the returned bound is at or below threshold.
+func TestFlatScannerScanConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	dims := []int{12, 8, 4}
+	objects := make([]Multi, 128)
+	for i := range objects {
+		objects[i] = randomMulti(rng, dims)
+	}
+	st := FlatFromMulti(objects)
+	w := Weights{0.9, 0.5, 0.4}
+	q := randomMulti(rng, dims)
+	fs := NewFlatScanner(st, w, q)
+	neverExit := float32(math.Inf(-1))
+	exits := 0
+	for i := range objects {
+		full := fs.FullIP(st.Row(i))
+		got, exact := fs.Scan(st.Row(i), neverExit)
+		if !exact || got != full {
+			t.Fatalf("object %d: Scan(-inf) = (%v,%v), FullIP = %v", i, got, exact, full)
+		}
+		threshold := full + 0.01 // force at least the final check to fail
+		bound, exact := fs.Scan(st.Row(i), threshold)
+		if exact {
+			t.Fatalf("object %d: Scan with threshold above exact IP reported exact", i)
+		}
+		if bound > threshold {
+			t.Fatalf("object %d: early-exit bound %v exceeds threshold %v", i, bound, threshold)
+		}
+		if bound < full-1e-6 {
+			t.Fatalf("object %d: bound %v below exact IP %v — not an upper-bound exit", i, bound, full)
+		}
+		exits++
+	}
+	if exits == 0 {
+		t.Fatal("no early exits exercised")
+	}
+}
+
+// Uniform weights must square-sum to exactly 1.0 after the float64
+// renormalization — the precision-drift fix for the weights path.
+func TestUniformSquaredSumExact(t *testing.T) {
+	for m := 1; m <= 16; m++ {
+		w := Uniform(m)
+		if got := w.SumSquared(); got != 1 {
+			t.Errorf("m=%d: Uniform squared sum = %.9f, want exactly 1", m, got)
+		}
+		for i := 1; i < m; i++ {
+			ratio := float64(w[i]) / float64(w[0])
+			if math.Abs(ratio-1) > 1e-6 {
+				t.Errorf("m=%d: weights not equal after renorm: %v", m, w)
+			}
+		}
+	}
+}
+
+func TestRenormalizeHitsTarget(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	for trial := 0; trial < 200; trial++ {
+		m := 1 + rng.Intn(8)
+		w := make(Weights, m)
+		for i := range w {
+			w[i] = float32(rng.Float64()*3 + 0.01)
+		}
+		target := float64(1 + rng.Intn(3))
+		w.Renormalize(target)
+		if got := float64(w.SumSquared()); math.Abs(got-target) > 1e-6 {
+			t.Fatalf("trial %d: Σω² = %v, want %v", trial, got, target)
+		}
+	}
+	// Degenerate input resets to equal weights at the target scale.
+	w := Weights{0, 0, 0}
+	w.Renormalize(3)
+	for _, x := range w {
+		if x != 1 {
+			t.Fatalf("degenerate renorm = %v, want all 1", w)
+		}
+	}
+}
+
+// --- Kernel benchmarks: fused flat sweep vs naive per-modality sum. ---
+
+func benchKernelSetup(b *testing.B) (*FlatStore, []Multi, Weights, Multi) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(7))
+	dims := []int{256, 64}
+	objects := make([]Multi, 1024)
+	for i := range objects {
+		objects[i] = randomMulti(rng, dims)
+	}
+	return FlatFromMulti(objects), objects, Weights{0.8, 0.6}, randomMulti(rng, dims)
+}
+
+func BenchmarkKernelFusedFlat(b *testing.B) {
+	st, _, w, q := benchKernelSetup(b)
+	fs := NewFlatScanner(st, w, q)
+	b.ResetTimer()
+	var acc float32
+	for i := 0; i < b.N; i++ {
+		acc += fs.FullIP(st.Row(i % st.Len()))
+	}
+	sinkF32 = acc
+}
+
+func BenchmarkKernelLegacyScanner(b *testing.B) {
+	_, objects, w, q := benchKernelSetup(b)
+	s := NewPartialIPScanner(w, q)
+	b.ResetTimer()
+	var acc float32
+	for i := 0; i < b.N; i++ {
+		acc += s.FullIP(objects[i%len(objects)])
+	}
+	sinkF32 = acc
+}
+
+func BenchmarkKernelNaiveJointIP(b *testing.B) {
+	_, objects, w, q := benchKernelSetup(b)
+	b.ResetTimer()
+	var acc float32
+	for i := 0; i < b.N; i++ {
+		acc += JointIP(w, q, objects[i%len(objects)])
+	}
+	sinkF32 = acc
+}
+
+var sinkF32 float32

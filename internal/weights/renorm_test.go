@@ -21,7 +21,10 @@ func TestRenormalizeInvariants(t *testing.T) {
 		}
 		before := w.Clone()
 		renormalize(w)
-		if math.Abs(float64(w.SumSquared())-float64(m)) > 1e-3 {
+		// The float64 renormalization with residual correction must pin the
+		// float32 squared sum exactly (vec.Weights.Renormalize), not just
+		// approximately as the old float32 scaling did.
+		if w.SumSquared() != float32(m) {
 			return false
 		}
 		// Ratios preserved.
@@ -42,8 +45,13 @@ func TestRenormalizeInvariants(t *testing.T) {
 func TestRenormalizeDegenerate(t *testing.T) {
 	w := vec.Weights{0, 0}
 	renormalize(w)
-	if math.Abs(float64(w.SumSquared())-2) > 1e-4 {
+	if w.SumSquared() != 2 {
 		t.Errorf("zero weights not reset to uniform: %v", w)
+	}
+	for _, x := range w {
+		if x != 1 {
+			t.Errorf("degenerate reset should pin ω_i = 1, got %v", w)
+		}
 	}
 }
 

@@ -190,21 +190,14 @@ func Train(anchors []vec.Multi, positives []int, pool []vec.Multi, cfg Config) (
 }
 
 // renormalize rescales w so that Σω_i² = m, preserving all ratios (joint
-// similarity rankings are invariant under positive scaling of ω²).
+// similarity rankings are invariant under positive scaling of ω²). It
+// delegates to vec.Weights.Renormalize, which computes the scale and the
+// residual correction in float64: the old float32 running sum drifted by
+// an ULP per modality per epoch, compounding over hundreds of epochs. A
+// degenerate collapse (Σω² ≤ 0) restarts from equal weights at the pinned
+// scale (ω_i = 1).
 func renormalize(w vec.Weights) {
-	sum := w.SumSquared()
-	if sum <= 0 {
-		// Degenerate collapse: restart from equal weights at the pinned
-		// scale (ω_i = 1 gives Σω² = m).
-		for i := range w {
-			w[i] = 1
-		}
-		return
-	}
-	scale := float32(math.Sqrt(float64(len(w)) / float64(sum)))
-	for i := range w {
-		w[i] *= scale
-	}
+	w.Renormalize(float64(len(w)))
 }
 
 // precomputeSims builds sims[a][o*m+i] = IP(anchor_a modality i, pool_o

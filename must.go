@@ -66,10 +66,16 @@ type Weights = []float32
 type Collection struct {
 	dims []int
 	// names optionally labels the modalities (set by the Engine's Schema
-	// and preserved by the v2 persistence format); nil for collections
+	// and preserved by the v2+ persistence formats); nil for collections
 	// created positionally.
 	names   []string
 	objects []vec.Multi
+	// arena, when non-nil, is the flat backing block every object's
+	// modality slices view into — set by the v3 collection loader so the
+	// packed layout can be adopted as a search store without re-copying.
+	// It is trustworthy only while len(arena) covers exactly len(objects)
+	// rows; Add appends objects without growing it.
+	arena []float32
 }
 
 // NewCollection creates a collection whose objects have one vector per
@@ -147,6 +153,20 @@ func (c *Collection) Object(id int) (Object, error) {
 // the no-learning default.
 func (c *Collection) UniformWeights() Weights {
 	return vec.Uniform(len(c.dims))
+}
+
+// flatStore returns a zero-copy flat store over the collection's v3
+// arena, or nil when no trustworthy arena exists (the collection was
+// built incrementally, loaded from an older format, or grew after load).
+func (c *Collection) flatStore() *vec.FlatStore {
+	total := 0
+	for _, d := range c.dims {
+		total += d
+	}
+	if c.arena == nil || total == 0 || len(c.arena) != len(c.objects)*total {
+		return nil
+	}
+	return vec.FlatStoreFromArena(c.dims, c.arena)
 }
 
 // query converts and validates an external query against the collection
@@ -401,18 +421,18 @@ func (ix *Index) Search(q Object, opts SearchOptions) ([]Match, error) {
 		}
 		w = vec.Weights(opts.Weights)
 	}
-	sOpts := []search.Option{search.WithOptimization(!opts.DisableOptimization)}
-	if ix.dead != nil {
-		sOpts = append(sOpts, search.WithTombstones(ix.dead))
-	}
-	if opts.Filter != nil {
-		sOpts = append(sOpts, search.WithFilter(opts.Filter))
-	}
-	if opts.Patience > 0 {
-		sOpts = append(sOpts, search.WithEarlyTermination(opts.Patience))
-	}
-	s := search.New(ix.f.Graph, ix.f.Objects, w, sOpts...)
-	res, _, err := s.Search(mv, opts.K, opts.L)
+	// The searcher shares the index's flat store; everything per-call goes
+	// through SearchParams.
+	s := ix.f.NewSearcher()
+	res, _, err := s.SearchParams(mv, search.Params{
+		K:          opts.K,
+		L:          opts.L,
+		Weights:    w,
+		Filter:     opts.Filter,
+		Tombstones: ix.dead,
+		Patience:   opts.Patience,
+		Optimize:   !opts.DisableOptimization,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -521,6 +541,13 @@ func LoadIndex(path string, c *Collection) (*Index, error) {
 	f, err := index.Load(path, c.objects)
 	if err != nil {
 		return nil, err
+	}
+	if st := c.flatStore(); st != nil {
+		// v3-loaded collections come pre-packed; adopt the arena instead
+		// of re-copying the corpus into a fresh store.
+		if err := f.AdoptStore(st); err != nil {
+			return nil, err
+		}
 	}
 	opt := BuildOptions{Gamma: 30, Iterations: 3}
 	return &Index{c: c, f: f, opt: opt}, nil

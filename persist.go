@@ -14,11 +14,25 @@ import (
 
 // Collection binary format, little-endian.
 //
-// Version 2 (written by this package; adds modality names):
+// Version 3 (written by this package; flat vector block):
+//
+//	magic "MUSTCL3\n"
+//	m uint32, dims: m × uint32
+//	names: m × (len uint32, bytes)   — len 0 for unnamed modalities
+//	numObjects uint32
+//	vectors: numObjects × rowDim × float32, one contiguous block
+//
+// The float payload is byte-identical to v2's per-object layout; what v3
+// buys is the loader contract: the block is read in bulk into a single
+// flat arena and every object's modality slices are views into it, so a
+// loaded collection starts out in the packed layout the fused search
+// kernel wants, with one allocation instead of one per object.
+//
+// Version 2 (still readable; adds modality names over v1):
 //
 //	magic "MUSTCL2\n"
 //	m uint32, dims: m × uint32
-//	names: m × (len uint32, bytes)   — len 0 for unnamed modalities
+//	names: m × (len uint32, bytes)
 //	numObjects uint32
 //	objects: numObjects × (per modality: dim × float32)
 //
@@ -35,6 +49,7 @@ import (
 var (
 	clMagicV1 = [8]byte{'M', 'U', 'S', 'T', 'C', 'L', '1', '\n'}
 	clMagicV2 = [8]byte{'M', 'U', 'S', 'T', 'C', 'L', '2', '\n'}
+	clMagicV3 = [8]byte{'M', 'U', 'S', 'T', 'C', 'L', '3', '\n'}
 )
 
 func writeString(bw *bufio.Writer, s string) error {
@@ -60,8 +75,8 @@ func readString(br *bufio.Reader, maxLen uint32) (string, error) {
 	return string(buf), nil
 }
 
-// WriteCollection serializes c to w in the v2 format (modality names
-// included when present).
+// WriteCollection serializes c to w in the v3 format (flat vector block,
+// modality names included when present).
 func WriteCollection(w io.Writer, c *Collection) error {
 	bw := bufio.NewWriterSize(w, 1<<20)
 	if err := writeCollectionBody(bw, c); err != nil {
@@ -71,7 +86,7 @@ func WriteCollection(w io.Writer, c *Collection) error {
 }
 
 func writeCollectionBody(bw *bufio.Writer, c *Collection) error {
-	if _, err := bw.Write(clMagicV2[:]); err != nil {
+	if _, err := bw.Write(clMagicV3[:]); err != nil {
 		return err
 	}
 	if err := binary.Write(bw, binary.LittleEndian, uint32(len(c.dims))); err != nil {
@@ -97,15 +112,47 @@ func writeCollectionBody(bw *bufio.Writer, c *Collection) error {
 	if err := binary.Write(bw, binary.LittleEndian, uint32(len(c.objects))); err != nil {
 		return err
 	}
-	var buf [4]byte
+	// Flat float block, encoded in chunks rather than one binary.Write per
+	// float: collection save time is dominated by this loop.
+	scratch := make([]byte, 0, 1<<16)
+	flush := func() error {
+		if len(scratch) == 0 {
+			return nil
+		}
+		_, err := bw.Write(scratch)
+		scratch = scratch[:0]
+		return err
+	}
 	for _, o := range c.objects {
 		for _, v := range o {
 			for _, x := range v {
-				binary.LittleEndian.PutUint32(buf[:], math.Float32bits(x))
-				if _, err := bw.Write(buf[:]); err != nil {
+				scratch = binary.LittleEndian.AppendUint32(scratch, math.Float32bits(x))
+			}
+			if len(scratch) >= 1<<16-4 {
+				if err := flush(); err != nil {
 					return err
 				}
 			}
+		}
+	}
+	return flush()
+}
+
+// readFloatBlock fills dst with little-endian float32s from br using a
+// bounded scratch buffer (no full-size intermediate byte slice).
+func readFloatBlock(br *bufio.Reader, dst []float32) error {
+	var chunk [1 << 16]byte
+	for len(dst) > 0 {
+		want := len(dst) * 4
+		if want > len(chunk) {
+			want = len(chunk)
+		}
+		if _, err := io.ReadFull(br, chunk[:want]); err != nil {
+			return err
+		}
+		for i := 0; i < want; i += 4 {
+			dst[0] = math.Float32frombits(binary.LittleEndian.Uint32(chunk[i:]))
+			dst = dst[1:]
 		}
 	}
 	return nil
@@ -129,6 +176,8 @@ func readCollectionBody(br *bufio.Reader) (*Collection, error) {
 		version = 1
 	case clMagicV2:
 		version = 2
+	case clMagicV3:
+		version = 3
 	default:
 		return nil, fmt.Errorf("must: bad collection magic %q", got[:])
 	}
@@ -174,9 +223,64 @@ func readCollectionBody(br *bufio.Reader) (*Collection, error) {
 	if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
 		return nil, err
 	}
+	if n > 1<<28 {
+		return nil, fmt.Errorf("must: unreasonable object count %d", n)
+	}
 	c := NewCollection(dims...)
 	c.names = names
-	c.objects = make([]vec.Multi, 0, n)
+	// n is untrusted until the vector data actually arrives: cap the
+	// upfront slice allocation and let append grow it for real files.
+	objCap := int(n)
+	if objCap > 1<<20 {
+		objCap = 1 << 20
+	}
+	c.objects = make([]vec.Multi, 0, objCap)
+	if version >= 3 {
+		// v3: the whole vector block lands in one flat arena; every
+		// object's modality slices are views into it. The arena grows as
+		// data actually arrives (capped initial allocation) so a corrupt
+		// header claiming billions of floats fails with a read error
+		// instead of attempting one enormous upfront allocation.
+		totalFloats := int(n) * total
+		capHint := totalFloats
+		const maxUpfront = 1 << 22 // 4M floats = 16 MiB before any data is seen
+		if capHint > maxUpfront {
+			capHint = maxUpfront
+		}
+		arena := make([]float32, 0, capHint)
+		for len(arena) < totalFloats {
+			chunk := totalFloats - len(arena)
+			if chunk > 1<<20 {
+				chunk = 1 << 20
+			}
+			if cap(arena)-len(arena) < chunk {
+				newCap := 2 * cap(arena)
+				if newCap > totalFloats {
+					newCap = totalFloats
+				}
+				grown := make([]float32, len(arena), newCap)
+				copy(grown, arena)
+				arena = grown
+			}
+			start := len(arena)
+			arena = arena[:start+chunk]
+			if err := readFloatBlock(br, arena[start:]); err != nil {
+				return nil, fmt.Errorf("must: reading flat vector block: %w", err)
+			}
+		}
+		for i := 0; i < int(n); i++ {
+			row := arena[i*total : (i+1)*total]
+			mv := make(vec.Multi, m)
+			off := 0
+			for j, d := range dims {
+				mv[j] = row[off : off+d : off+d]
+				off += d
+			}
+			c.objects = append(c.objects, mv)
+		}
+		c.arena = arena
+		return c, nil
+	}
 	for i := uint32(0); i < n; i++ {
 		flat := make([]float32, total)
 		if err := binary.Read(br, binary.LittleEndian, flat); err != nil {
@@ -202,7 +306,7 @@ func readCollectionBody(br *bufio.Reader) (*Collection, error) {
 //	nextID uint64
 //	ids: n uint32, n × uint64
 //	tombstones: n × uint8
-//	collection body (v2 format, see above)
+//	collection body (v3 format, see above; v1/v2 bodies load too)
 //	built uint8; if 1: index body (internal/index format)
 var egMagic = [8]byte{'M', 'U', 'S', 'T', 'E', 'G', '1', '\n'}
 
@@ -420,6 +524,13 @@ func ReadEngine(r io.Reader) (*Engine, error) {
 		f, err := index.ReadFused(br, e.c.objects)
 		if err != nil {
 			return nil, err
+		}
+		if st := e.c.flatStore(); st != nil {
+			// The v3 arena is already in packed layout; adopt it as the
+			// search store instead of re-copying the corpus.
+			if err := f.AdoptStore(st); err != nil {
+				return nil, err
+			}
 		}
 		ix := &Index{c: e.c, f: f}
 		ix.SetBuildOptions(bo)
