@@ -54,10 +54,6 @@ func (ix *Index) SearchBatch(queries []Object, opts SearchOptions, workers int) 
 	errs := make([]error, workers)
 	var wg sync.WaitGroup
 	wg.Add(workers)
-	// Materialize the shared flat store once, before the workers start:
-	// each worker's searcher shares it (NewSearcher via the index), so a
-	// searcher costs only its visit buffers, not a corpus copy.
-	ix.f.Store()
 	params := search.Params{
 		K:          opts.K,
 		L:          opts.L,
@@ -109,7 +105,7 @@ func (ix *Index) QueryFromObject(id int, aux Object) (Object, error) {
 		return nil, fmt.Errorf("must: aux has %d modalities, collection expects %d (index 0 is ignored)", len(aux), m)
 	}
 	q := make(Object, m)
-	q[0] = vec.Clone(ix.c.objects[id][0])
+	q[0] = vec.Clone(ix.c.store.Modality(id, 0))
 	for i := 1; i < m; i++ {
 		if aux[i] == nil {
 			continue

@@ -5,9 +5,13 @@ package must_test
 
 import (
 	"fmt"
+	"math/rand"
+	"runtime"
 	"strconv"
 	"sync"
 	"testing"
+
+	"must"
 
 	"must/internal/baseline"
 	"must/internal/dataset"
@@ -445,5 +449,66 @@ func BenchmarkFig14Gamma50Build(b *testing.B) {
 		if _, err := index.BuildFused(f.enc.Objects, f.weights, graph.Ours(50, 3, int64(i))); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// --- Memory: the single-copy corpus claim, measured. ---
+
+// BenchmarkIndexMemory builds a complete system through the public API
+// and reports its steady-state resident heap per indexed object, plus the
+// store's own accounting. resident_B/object covers everything — arena,
+// graph, ID maps — while corpus_over_raw isolates the single-copy claim:
+// it is ~1.0 because the built index shares one arena-backed store across
+// the collection, the graph build, and search, with the transient fused
+// buffer released before Build returns (down from ~3× when the corpus
+// lived in Objects, the graph space, and the searcher store at once).
+func BenchmarkIndexMemory(b *testing.B) {
+	const (
+		n    = 4000
+		dImg = 96
+		dTxt = 32
+	)
+	rng := rand.New(rand.NewSource(7))
+	raw := make([][]float32, 2*n)
+	for i := range raw {
+		d := dImg
+		if i%2 == 1 {
+			d = dTxt
+		}
+		v := make([]float32, d)
+		for j := range v {
+			v[j] = float32(rng.NormFloat64())
+		}
+		raw[i] = v
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runtime.GC()
+		var before runtime.MemStats
+		runtime.ReadMemStats(&before)
+
+		c := must.NewCollection(dImg, dTxt)
+		for j := 0; j < n; j++ {
+			if _, err := c.Add(must.Object{raw[2*j], raw[2*j+1]}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		ix, err := must.Build(c, c.UniformWeights(), must.BuildOptions{Gamma: 24, Seed: 7})
+		if err != nil {
+			b.Fatal(err)
+		}
+
+		runtime.GC()
+		var after runtime.MemStats
+		runtime.ReadMemStats(&after)
+		resident := int64(after.HeapAlloc) - int64(before.HeapAlloc)
+		st := ix.Stats()
+		b.ReportMetric(float64(resident)/n, "resident_B/object")
+		b.ReportMetric(float64(st.CorpusBytes)/n, "corpus_B/object")
+		b.ReportMetric(float64(st.CorpusBytes)/float64(st.RawVectorBytes), "corpus_over_raw")
+		b.ReportMetric(float64(st.FusedBytes), "fused_B")
+		runtime.KeepAlive(ix)
+		runtime.KeepAlive(c)
 	}
 }

@@ -5,7 +5,7 @@
 //
 // Typical use:
 //
-//	go test -bench=. -benchtime=200ms -count=5 ./... | tee bench.txt
+//	go test -bench=. -benchmem -benchtime=200ms -count=5 ./... | tee bench.txt
 //	go run ./cmd/benchgate -input bench.txt            # gate
 //	go run ./cmd/benchgate -input bench.txt -update    # refresh baseline
 //
@@ -14,6 +14,13 @@
 // Only baseline entries marked "gate": true fail the build; everything
 // else is recorded for trend visibility. The tolerance (default 20%) can
 // be overridden with -tolerance or the BENCH_GATE_TOLERANCE env var.
+//
+// Besides ns/op, gated benchmarks also gate on B/op and allocs/op when
+// the baseline records them (run with -benchmem): a change that keeps
+// latency but silently re-introduces a per-query corpus copy or a
+// per-candidate allocation fails the build the same way a slowdown does.
+// Memory numbers are far more stable than timings, so they share the
+// same tolerance with room to spare.
 //
 // Baselines are tied to the runner that produced them (the "runner"
 // field): refresh the baseline whenever the CI runner hardware changes.
@@ -34,6 +41,10 @@ import (
 // Entry is one benchmark's baseline record.
 type Entry struct {
 	NsPerOp float64 `json:"ns_per_op"`
+	// BytesPerOp and AllocsPerOp are recorded when the input was produced
+	// with -benchmem; nil means the metric was absent and is not gated.
+	BytesPerOp  *float64 `json:"b_per_op,omitempty"`
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
 	// Gate marks the benchmark as build-failing on regression; ungated
 	// entries are informational.
 	Gate bool `json:"gate,omitempty"`
@@ -56,15 +67,26 @@ var gatedByDefault = []*regexp.Regexp{
 	regexp.MustCompile(`^BenchmarkFig10BuildOurs$`),
 }
 
-var benchLine = regexp.MustCompile(`^(Benchmark\S*?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+// benchLine parses one `go test -bench` result line. Custom ReportMetric
+// values print between ns/op and the -benchmem columns, so B/op and
+// allocs/op are matched anywhere after ns/op rather than immediately
+// adjacent to it.
+var benchLine = regexp.MustCompile(`^(Benchmark\S*?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op(?:.*?\s([0-9.]+) B/op)?(?:.*?\s([0-9.]+) allocs/op)?`)
 
-func parseBench(path string) (map[string][]float64, error) {
+// runs collects the per-run samples of one benchmark's metrics.
+type runs struct {
+	ns     []float64
+	bytes  []float64
+	allocs []float64
+}
+
+func parseBench(path string) (map[string]*runs, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	out := make(map[string][]float64)
+	out := make(map[string]*runs)
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
@@ -76,9 +98,35 @@ func parseBench(path string) (map[string][]float64, error) {
 		if err != nil {
 			continue
 		}
-		out[m[1]] = append(out[m[1]], ns)
+		r := out[m[1]]
+		if r == nil {
+			r = &runs{}
+			out[m[1]] = r
+		}
+		r.ns = append(r.ns, ns)
+		if m[3] != "" {
+			if v, err := strconv.ParseFloat(m[3], 64); err == nil {
+				r.bytes = append(r.bytes, v)
+			}
+		}
+		if m[4] != "" {
+			if v, err := strconv.ParseFloat(m[4], 64); err == nil {
+				r.allocs = append(r.allocs, v)
+			}
+		}
 	}
 	return out, sc.Err()
+}
+
+// medianOf returns a pointer to the median of xs, or nil when the metric
+// was not present in every run (a partial -benchmem signal is not a
+// trustworthy baseline).
+func medianOf(xs []float64, want int) *float64 {
+	if len(xs) == 0 || len(xs) != want {
+		return nil
+	}
+	m := median(xs)
+	return &m
 }
 
 func median(xs []float64) float64 {
@@ -135,13 +183,18 @@ func main() {
 		// benchmarks are pruned (a stale gated entry would otherwise fail
 		// the gate as MISSING forever).
 		fresh := make(map[string]Entry, len(results))
-		for name, runs := range results {
+		for name, r := range results {
 			prev, existed := base.Benchmarks[name]
 			gate := prev.Gate
 			if !existed {
 				gate = isGatedByDefault(name)
 			}
-			fresh[name] = Entry{NsPerOp: median(runs), Gate: gate}
+			fresh[name] = Entry{
+				NsPerOp:     median(r.ns),
+				BytesPerOp:  medianOf(r.bytes, len(r.ns)),
+				AllocsPerOp: medianOf(r.allocs, len(r.ns)),
+				Gate:        gate,
+			}
 		}
 		for name := range base.Benchmarks {
 			if _, ok := fresh[name]; !ok {
@@ -187,34 +240,69 @@ func main() {
 
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "## Benchmark gate (tolerance %.0f%%, runner %q)\n\n", tol, base.Runner)
-	sb.WriteString("| benchmark | baseline ns/op | current ns/op | delta | gated | status |\n")
-	sb.WriteString("|---|---|---|---|---|---|\n")
+	sb.WriteString("| benchmark | metric | baseline | current | delta | gated | status |\n")
+	sb.WriteString("|---|---|---|---|---|---|---|\n")
 	failures := 0
 	for _, name := range names {
 		e := base.Benchmarks[name]
-		runs, ok := results[name]
+		r, ok := results[name]
 		if !ok {
 			status := "missing"
 			if e.Gate {
 				status = "**MISSING**"
 				failures++
 			}
-			fmt.Fprintf(&sb, "| %s | %.0f | — | — | %v | %s |\n", name, e.NsPerOp, e.Gate, status)
+			fmt.Fprintf(&sb, "| %s | ns/op | %.0f | — | — | %v | %s |\n", name, e.NsPerOp, e.Gate, status)
 			continue
 		}
-		cur := median(runs)
-		delta := (cur - e.NsPerOp) / e.NsPerOp * 100
-		status := "ok"
-		switch {
-		case e.Gate && delta > tol:
-			status = "**REGRESSION**"
-			failures++
-		case delta > tol:
-			status = "slower (ungated)"
-		case delta < -tol:
-			status = "faster — consider refreshing the baseline"
+		// One row per recorded metric; each gates independently.
+		type metric struct {
+			label string
+			base  float64
+			cur   []float64
 		}
-		fmt.Fprintf(&sb, "| %s | %.0f | %.0f | %+.1f%% | %v | %s |\n", name, e.NsPerOp, cur, delta, e.Gate, status)
+		metrics := []metric{{"ns/op", e.NsPerOp, r.ns}}
+		if e.BytesPerOp != nil {
+			metrics = append(metrics, metric{"B/op", *e.BytesPerOp, r.bytes})
+		}
+		if e.AllocsPerOp != nil {
+			metrics = append(metrics, metric{"allocs/op", *e.AllocsPerOp, r.allocs})
+		}
+		for _, mt := range metrics {
+			if len(mt.cur) == 0 {
+				status := "missing metric (run with -benchmem)"
+				if e.Gate {
+					status = "**MISSING METRIC** (run with -benchmem)"
+					failures++
+				}
+				fmt.Fprintf(&sb, "| %s | %s | %.0f | — | — | %v | %s |\n", name, mt.label, mt.base, e.Gate, status)
+				continue
+			}
+			cur := median(mt.cur)
+			var delta float64
+			// Zero baseline (e.g. a benchmark that used to allocate
+			// nothing): any appearance is an unbounded regression, reported
+			// as such rather than as a fabricated percentage.
+			unbounded := mt.base == 0 && cur != 0
+			if mt.base != 0 {
+				delta = (cur - mt.base) / mt.base * 100
+			}
+			deltaCell := fmt.Sprintf("%+.1f%%", delta)
+			if unbounded {
+				deltaCell = "+∞ (zero baseline)"
+			}
+			status := "ok"
+			switch {
+			case e.Gate && (unbounded || delta > tol):
+				status = "**REGRESSION**"
+				failures++
+			case unbounded || delta > tol:
+				status = "slower (ungated)"
+			case delta < -tol:
+				status = "faster — consider refreshing the baseline"
+			}
+			fmt.Fprintf(&sb, "| %s | %s | %.0f | %.0f | %s | %v | %s |\n", name, mt.label, mt.base, cur, deltaCell, e.Gate, status)
+		}
 	}
 	report := sb.String()
 	fmt.Print(report)

@@ -206,7 +206,7 @@ func (e *Engine) Object(id int64) (NamedVectors, error) {
 	}
 	out := make(NamedVectors, len(e.schema))
 	for i, m := range e.schema {
-		out[m.Name] = vec.Clone(e.c.objects[slot][i])
+		out[m.Name] = vec.Clone(e.c.store.Modality(slot, i))
 	}
 	return out, nil
 }
@@ -260,7 +260,13 @@ func (e *Engine) LearnWeights(queries []NamedVectors, positives []int64, cfg Wei
 		posQueries[i] = o
 	}
 	e.mu.RLock()
-	snap := &Collection{dims: e.c.dims, objects: append([]vec.Multi(nil), e.c.objects...)}
+	// The snapshot pins the store length: training reads rows through
+	// zero-copy views off-lock, while concurrent Inserts only ever write
+	// rows past the pinned length.
+	snap := &Collection{dims: e.c.dims}
+	if e.c.store != nil {
+		snap.store = e.c.store.Snapshot()
+	}
 	internal := make([]int, len(positives))
 	for i, id := range positives {
 		slot, ok := e.lookup[id]
@@ -318,24 +324,43 @@ func (e *Engine) Rebuild() error {
 		return ErrNotBuilt
 	}
 	snapLen := e.c.Len()
-	dead := e.ix.dead
-	aliveObjs := make([]vec.Multi, 0, snapLen)
-	aliveIDs := make([]int64, 0, snapLen)
-	for i := 0; i < snapLen; i++ {
-		if i < len(dead) && dead[i] {
-			continue
-		}
-		aliveObjs = append(aliveObjs, e.c.objects[i])
-		aliveIDs = append(aliveIDs, e.ids[i])
-	}
+	// Copy the tombstone bitset and ID prefix under the lock (Delete may
+	// flip entries the moment it is released); the store itself only needs
+	// a length-pinned snapshot — rows are immutable once appended, so the
+	// O(n·dim) compaction copy below can run off-lock without blocking
+	// concurrent Search/Insert/Delete. Deletes that land after this
+	// snapshot are replayed from the live bitset before the swap.
+	dead := append([]bool(nil), e.ix.dead...)
+	srcStore := e.c.store.Snapshot()
+	idsSnap := append([]int64(nil), e.ids[:snapLen]...)
 	w := append(Weights(nil), e.weights...)
 	bo := e.build
 	e.mu.RUnlock()
 
-	if len(aliveObjs) == 0 {
+	alive := 0
+	for i := 0; i < snapLen; i++ {
+		if i < len(dead) && dead[i] {
+			continue
+		}
+		alive++
+	}
+	if alive == 0 {
 		return fmt.Errorf("must: rebuild would leave the engine empty (all %d objects deleted)", snapLen)
 	}
-	newC := &Collection{dims: append([]int(nil), e.c.dims...), names: e.schema.Names(), objects: aliveObjs}
+	// Compact the live rows into a fresh store — the one real copy a
+	// rebuild makes; the old store is dropped at the swap. Rows are
+	// copied verbatim (already normalized), preserving bit-exact vectors.
+	newC := &Collection{dims: append([]int(nil), e.c.dims...), names: e.schema.Names(),
+		store: vec.NewFlatStore(e.c.dims, alive)}
+	aliveIDs := make([]int64, 0, alive)
+	for i := 0; i < snapLen; i++ {
+		if i < len(dead) && dead[i] {
+			continue
+		}
+		copy(newC.store.AppendRow(), srcStore.Row(i))
+		aliveIDs = append(aliveIDs, idsSnap[i])
+	}
+
 	newIx, err := Build(newC, w, bo)
 	if err != nil {
 		return err
@@ -345,7 +370,7 @@ func (e *Engine) Rebuild() error {
 	defer e.mu.Unlock()
 	// Replay inserts that landed while the graph was building.
 	for i := snapLen; i < e.c.Len(); i++ {
-		if _, err := newIx.Insert(Object(e.c.objects[i])); err != nil {
+		if _, err := newIx.Insert(Object(e.c.multi(i))); err != nil {
 			return fmt.Errorf("must: rebuild replay of object %d: %w", e.ids[i], err)
 		}
 		aliveIDs = append(aliveIDs, e.ids[i])
@@ -377,9 +402,11 @@ func (e *Engine) Rebuild() error {
 // graph topology or object slice. Callers must hold the write lock.
 func (e *Engine) resetSearchersLocked() {
 	f := e.ix.f
-	// Materialize the shared flat store now, under the write lock: pool.New
-	// fires from concurrent readers, which must not race a lazy build.
-	store := f.Store()
+	// Snapshot the shared store at the current length, under the write
+	// lock: pooled searchers must not observe rows appended by later
+	// Inserts (their visit buffers are sized to the vertex count at pool
+	// creation; the pool is replaced after every mutation).
+	store := f.Store.Snapshot()
 	e.searchers = &sync.Pool{New: func() any {
 		return search.NewFlat(f.Graph, store, f.Weights)
 	}}
@@ -532,11 +559,11 @@ func (e *Engine) ExactSearch(ctx context.Context, q Query) (*Response, error) {
 		evals++
 		return true
 	}
-	bf := &index.BruteForce{Objects: e.c.objects, Weights: vec.Weights(w)}
+	bf := &index.BruteForce{Store: e.c.flatStore(), Weights: vec.Weights(w)}
 	res := bf.TopKFiltered(mv, k, keep)
 	matches := make([]ScoredMatch, len(res))
 	for i, r := range res {
-		per := search.Breakdown(vec.Weights(w), mv, e.c.objects[r.ID])
+		per := search.Breakdown(vec.Weights(w), mv, e.c.multi(r.ID))
 		by := make(map[string]float32, len(e.schema))
 		for j, m := range e.schema {
 			by[m.Name] = per[j]

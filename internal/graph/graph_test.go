@@ -400,3 +400,117 @@ func TestBuildDeterminism(t *testing.T) {
 		}
 	}
 }
+
+// A released store-backed space must agree with its materialized form on
+// every similarity primitive: the lazy per-modality path is what
+// incremental inserts route through once the fused build buffer is gone.
+func TestStoreViewMatchesMaterializedSpace(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	objs := make([]vec.Multi, 40)
+	for i := range objs {
+		objs[i] = vec.Multi{vec.RandUnit(rng, 16), vec.RandUnit(rng, 6), vec.RandUnit(rng, 10)}
+	}
+	w := vec.Weights{0.7, 0.5, 0.3}
+	st := vec.FlatFromMulti(objs)
+	mat := NewFusedSpaceFromStore(st, w)
+	lazy := StoreView(st, w)
+	if mat.FusedBytes() == 0 {
+		t.Fatal("materialized space reports no fused buffer")
+	}
+	if lazy.FusedBytes() != 0 {
+		t.Fatal("store view materialized a fused buffer")
+	}
+	const tol = 1e-5
+	approx := func(a, b float32) bool { d := a - b; return d < tol && d > -tol }
+	if !approx(mat.SelfIP(), lazy.SelfIP()) {
+		t.Fatalf("SelfIP: %v vs %v", mat.SelfIP(), lazy.SelfIP())
+	}
+	q := mat.Vector(3)
+	for i := 0; i < mat.Len(); i++ {
+		for j := 0; j < 5; j++ {
+			if !approx(mat.IP(int32(i), int32(j)), lazy.IP(int32(i), int32(j))) {
+				t.Fatalf("IP(%d,%d): %v vs %v", i, j, mat.IP(int32(i), int32(j)), lazy.IP(int32(i), int32(j)))
+			}
+		}
+		if !approx(mat.IPTo(int32(i), q), lazy.IPTo(int32(i), q)) {
+			t.Fatalf("IPTo(%d): %v vs %v", i, mat.IPTo(int32(i), q), lazy.IPTo(int32(i), q))
+		}
+		mv, lv := mat.Vector(int32(i)), lazy.Vector(int32(i))
+		for d := range mv {
+			if mv[d] != lv[d] {
+				t.Fatalf("Vector(%d)[%d]: %v vs %v", i, d, mv[d], lv[d])
+			}
+		}
+	}
+	// Release drops the fused buffer and flips the materialized space onto
+	// the same lazy path; everything must keep answering.
+	mat.Release()
+	if mat.FusedBytes() != 0 {
+		t.Fatal("Release left fused bytes behind")
+	}
+	if !approx(mat.IP(0, 1), lazy.IP(0, 1)) {
+		t.Fatal("released space disagrees with store view")
+	}
+	// New rows appended to the shared store become visible to both views.
+	st.AppendMulti(vec.Multi{vec.RandUnit(rng, 16), vec.RandUnit(rng, 6), vec.RandUnit(rng, 10)})
+	if mat.Len() != 41 || lazy.Len() != 41 {
+		t.Fatalf("appended row not visible: %d / %d", mat.Len(), lazy.Len())
+	}
+	if ip := lazy.IP(40, 40); !approx(ip, lazy.SelfIP()) {
+		t.Fatalf("self IP of appended row = %v, want %v", ip, lazy.SelfIP())
+	}
+	// A still-materialized space must serve rows beyond its fused buffer
+	// through the lazy fallback instead of indexing past the buffer.
+	mat2 := NewFusedSpaceFromStore(st, w)
+	st.AppendMulti(vec.Multi{vec.RandUnit(rng, 16), vec.RandUnit(rng, 6), vec.RandUnit(rng, 10)})
+	if mat2.Len() != 42 {
+		t.Fatalf("appended row not visible to materialized space: %d", mat2.Len())
+	}
+	if got, want := mat2.IP(41, 0), lazy.IP(41, 0); !approx(got, want) {
+		t.Fatalf("mixed fused/lazy IP = %v, want %v", got, want)
+	}
+	if ip := mat2.IP(41, 41); !approx(ip, mat2.SelfIP()) {
+		t.Fatalf("self IP of row past the fused buffer = %v, want %v", ip, mat2.SelfIP())
+	}
+	if v := mat2.Vector(41); len(v) != mat2.Dim() {
+		t.Fatalf("Vector past the fused buffer has dim %d", len(v))
+	}
+}
+
+// Insert on a released space must link new vertices well enough that a
+// beam search finds them — the §IX dynamic-update path with no fused
+// buffer resident.
+func TestInsertOnReleasedSpace(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	objs := make([]vec.Multi, 200)
+	for i := range objs {
+		objs[i] = vec.Multi{vec.RandUnit(rng, 12), vec.RandUnit(rng, 6)}
+	}
+	w := vec.Weights{0.8, 0.6}
+	st := vec.FlatFromMulti(objs)
+	s := NewFusedSpaceFromStore(st, w)
+	g, err := Ours(10, 3, 9).Build(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Release()
+	// Append ten new objects to the shared store and link each one.
+	for k := 0; k < 10; k++ {
+		nv := vec.Multi{vec.RandUnit(rng, 12), vec.RandUnit(rng, 6)}
+		id := int32(st.AppendMulti(nv))
+		Insert(s, g, id, 10, 40)
+		if len(g.Adj[id]) == 0 {
+			t.Fatalf("inserted vertex %d has no out-edges", id)
+		}
+		found := false
+		for _, u := range beamSearchVector(s, g.Adj, g.Seed, s.Vector(id), 40) {
+			if u == id {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("beam search cannot reach inserted vertex %d", id)
+		}
+	}
+}

@@ -6,17 +6,25 @@ package graph
 // update. The new vertex beam-searches for its neighborhood, links via
 // MRNG selection, and adds degree-capped reverse edges.
 
-// Append copies a vector into the space's flat buffer and returns its new
+// Append copies a vector into a raw space's buffer and returns its new
 // index. The vector must have the space's dimension and the same
 // self-inner-product as the rest of the space (a weighted concatenation of
 // unit vectors). Append may reallocate the buffer; views previously
 // returned by Vector are no longer tied to the space afterwards.
+//
+// Store-backed fused spaces reject Append: their rows live in the shared
+// vec.FlatStore, so new objects are appended to the store (one copy,
+// visible to every layer) and become visible here through Len.
 func (s *Space) Append(v []float32) int32 {
+	if s.st != nil {
+		panic("graph: Append on a store-backed space; append to the shared store instead")
+	}
 	if len(v) != s.Dim() {
 		panic("graph: Append dimension mismatch")
 	}
-	s.buf = append(s.buf, v...)
+	s.fused = append(s.fused, v...)
 	s.n++
+	s.fusedRows = s.n
 	return int32(s.n - 1)
 }
 

@@ -17,26 +17,46 @@ import (
 // per-modality index they are that modality's vectors. Similarity is the
 // inner product.
 //
-// Vectors are stored flat: one contiguous []float32 holding all rows
-// back-to-back, so the IP-heavy build loops walk sequential memory instead
-// of chasing a pointer per vector. Vector returns views computed on
-// demand, which keeps Append safe (a reallocation of the backing array
-// never invalidates previously working code, only previously returned
-// views — callers re-fetch per use).
+// A fused Space is a *view* over a shared vec.FlatStore — the single
+// corpus copy the whole system scores against — plus the modality weights.
+// During index construction the weighted rows are materialized into one
+// contiguous fused buffer (the IP-heavy build loops walk sequential
+// memory), and Release drops that buffer once the graph is built: the
+// steady-state index keeps only the shared store, and IP/IPTo fall back to
+// computing the weighted similarity per modality directly from the raw
+// rows — slightly more arithmetic per call, paid only by the rare
+// incremental-insert path.
+//
+// Spaces created from raw vectors (NewSpace, NewModalitySpace) own their
+// buffer outright; Release is a no-op for them.
 //
 // All vectors in a Space must have the same self-inner-product (true for
 // weighted concatenations of unit vectors, where IP(ô,ô) = Σω_i²); several
 // components rely on this to convert between IPs, distances and angles.
 type Space struct {
-	buf    []float32
-	dim    int
-	n      int
-	selfIP float32
+	// st and w back a fused view; st is nil for raw self-contained spaces.
+	st   *vec.FlatStore
+	w    vec.Weights
+	w2   []float32 // ω_m², cached for the lazy per-modality path
+	offs []int     // store row offsets, shared with st
+
+	// fused holds the materialized weighted rows; nil after Release on a
+	// store-backed space. Raw spaces keep their data here permanently.
+	fused []float32
+	// fusedRows is how many rows fused covers. Rows appended to the
+	// backing store after materialization are not in the buffer; the
+	// similarity fast paths check against fusedRows and fall back to the
+	// lazy store path for anything beyond it, so a store append can never
+	// index past the buffer.
+	fusedRows int
+	dim       int
+	n         int // raw spaces only; store-backed spaces track st.Len()
+	selfIP    float32
 }
 
-// NewSpace packs the given vectors into a fresh flat space. It panics if
-// vectors is empty or dimensions are inconsistent, which would indicate a
-// bug in the caller.
+// NewSpace packs the given raw vectors into a fresh self-contained space.
+// It panics if vectors is empty or dimensions are inconsistent, which
+// would indicate a bug in the caller.
 func NewSpace(vectors [][]float32) *Space {
 	if len(vectors) == 0 {
 		panic("graph: empty space")
@@ -47,18 +67,23 @@ func NewSpace(vectors [][]float32) *Space {
 			panic(fmt.Sprintf("graph: vector %d has dim %d, want %d", i, len(v), d))
 		}
 	}
-	s := &Space{buf: make([]float32, 0, len(vectors)*d), dim: d, n: len(vectors)}
+	s := &Space{fused: make([]float32, 0, len(vectors)*d), dim: d, n: len(vectors), fusedRows: len(vectors)}
 	for _, v := range vectors {
-		s.buf = append(s.buf, v...)
+		s.fused = append(s.fused, v...)
 	}
 	s.selfIP = vec.Dot(s.Vector(0), s.Vector(0))
 	return s
 }
 
-// NewFusedSpace builds the fused space over multi-vector objects under the
-// given weights: each object becomes its weighted concatenation, written
-// directly into the flat buffer by GOMAXPROCS workers (each row is owned
-// by exactly one worker, so the pack is deterministic).
+// NewFusedSpace builds a self-contained fused space over multi-vector
+// objects under the given weights: each object becomes its weighted
+// concatenation, written directly into the flat buffer by GOMAXPROCS
+// workers (each row is owned by exactly one worker, so the pack is
+// deterministic). It is the convenience constructor for callers that hold
+// a [][]float32-of-slices corpus (experiment harnesses, tests) — it packs
+// straight from the objects, with no intermediate store copy; the
+// production path is NewFusedSpaceFromStore over the shared collection
+// store.
 func NewFusedSpace(objects []vec.Multi, w vec.Weights) *Space {
 	if len(objects) == 0 {
 		panic("graph: empty space")
@@ -69,9 +94,9 @@ func NewFusedSpace(objects []vec.Multi, w vec.Weights) *Space {
 			panic(fmt.Sprintf("graph: object %d has total dim %d, want %d", i, o.TotalDim(), d))
 		}
 	}
-	s := &Space{buf: make([]float32, len(objects)*d), dim: d, n: len(objects)}
+	s := &Space{fused: make([]float32, len(objects)*d), dim: d, n: len(objects), fusedRows: len(objects)}
 	parallelVertices(len(objects), func(i int) {
-		row := s.buf[i*d : (i+1)*d]
+		row := s.fused[i*d : (i+1)*d]
 		off := 0
 		for m, v := range objects[i] {
 			wi := float32(0)
@@ -88,6 +113,74 @@ func NewFusedSpace(objects []vec.Multi, w vec.Weights) *Space {
 	return s
 }
 
+// NewFusedSpaceFromStore builds the fused space as a view over the shared
+// flat store, materializing the weighted concatenation of every row into
+// one flat buffer by GOMAXPROCS workers (each row is owned by exactly one
+// worker, so the pack is deterministic). Call Release after construction
+// to drop the materialized buffer and keep only the store view.
+func NewFusedSpaceFromStore(st *vec.FlatStore, w vec.Weights) *Space {
+	s := newStoreSpace(st, w)
+	n := st.Len()
+	if n == 0 {
+		panic("graph: empty space")
+	}
+	s.fused = make([]float32, n*s.dim)
+	s.fusedRows = n
+	parallelVertices(n, func(i int) {
+		s.packRow(i, s.fused[i*s.dim:(i+1)*s.dim])
+	})
+	s.selfIP = vec.Dot(s.Vector(0), s.Vector(0))
+	return s
+}
+
+// StoreView builds a fused space over the shared store with no
+// materialized buffer at all: every IP is computed from the raw rows and
+// weights on the fly. This is what a deserialized index attaches for
+// incremental inserts — the corpus stays single-copy from the first
+// operation.
+func StoreView(st *vec.FlatStore, w vec.Weights) *Space {
+	s := newStoreSpace(st, w)
+	if st.Len() > 0 {
+		row := make([]float32, s.dim)
+		s.packRow(0, row)
+		s.selfIP = vec.Dot(row, row)
+	}
+	return s
+}
+
+func newStoreSpace(st *vec.FlatStore, w vec.Weights) *Space {
+	if st == nil {
+		panic("graph: nil store")
+	}
+	w2 := make([]float32, st.Modalities())
+	for m := range w2 {
+		if m < len(w) {
+			w2[m] = w[m] * w[m]
+		}
+	}
+	return &Space{
+		st:   st,
+		w:    w.Clone(),
+		w2:   w2,
+		offs: st.Offsets(),
+		dim:  st.RowDim(),
+	}
+}
+
+// packRow writes the weighted concatenation of store row i into dst.
+func (s *Space) packRow(i int, dst []float32) {
+	row := s.st.Row(i)
+	for m := range s.w2 {
+		wi := float32(0)
+		if m < len(s.w) {
+			wi = s.w[m]
+		}
+		for d := s.offs[m]; d < s.offs[m+1]; d++ {
+			dst[d] = wi * row[d]
+		}
+	}
+}
+
 // NewModalitySpace builds a single-modality space over multi-vector
 // objects, as MR's per-modality indexes require.
 func NewModalitySpace(objects []vec.Multi, modality int) *Space {
@@ -98,32 +191,87 @@ func NewModalitySpace(objects []vec.Multi, modality int) *Space {
 	return NewSpace(data)
 }
 
-// Len returns the number of vectors.
-func (s *Space) Len() int { return s.n }
+// Release drops the materialized fused buffer of a store-backed space,
+// leaving the lazy view in place. The transient fused block exists only
+// between NewFusedSpaceFromStore and Release — bracketing the graph build
+// — so a built index holds the corpus once, not twice. No-op for raw
+// spaces (they have no backing store to fall back to).
+func (s *Space) Release() {
+	if s.st != nil {
+		s.fused = nil
+		s.fusedRows = 0
+	}
+}
+
+// FusedBytes reports the bytes held by the materialized fused buffer
+// (0 after Release). Raw spaces report their owned buffer.
+func (s *Space) FusedBytes() int64 { return int64(len(s.fused)) * 4 }
+
+// Len returns the number of vectors. A store-backed space tracks the
+// store, so rows appended to the shared store become visible here — the
+// incremental-insert path relies on this.
+func (s *Space) Len() int {
+	if s.st != nil {
+		return s.st.Len()
+	}
+	return s.n
+}
 
 // Dim returns the vector dimension.
 func (s *Space) Dim() int { return s.dim }
 
 // IP returns the inner product between stored vectors i and j.
 func (s *Space) IP(i, j int32) float32 {
-	a := int(i) * s.dim
-	b := int(j) * s.dim
-	return vec.Dot(s.buf[a:a+s.dim], s.buf[b:b+s.dim])
+	if int(i) < s.fusedRows && int(j) < s.fusedRows {
+		a := int(i) * s.dim
+		b := int(j) * s.dim
+		return vec.Dot(s.fused[a:a+s.dim], s.fused[b:b+s.dim])
+	}
+	ri, rj := s.st.Row(int(i)), s.st.Row(int(j))
+	var sum float32
+	for m, w2 := range s.w2 {
+		if w2 == 0 {
+			continue
+		}
+		a, b := s.offs[m], s.offs[m+1]
+		sum += w2 * vec.Dot(ri[a:b], rj[a:b])
+	}
+	return sum
 }
 
 // IPTo returns the inner product between stored vector i and an external
-// query vector q of the same dimension.
+// query vector q of the space's dimension (a weighted concatenation, e.g.
+// from Vector or vec.WeightedConcat).
 func (s *Space) IPTo(i int32, q []float32) float32 {
-	a := int(i) * s.dim
-	return vec.Dot(s.buf[a:a+s.dim], q)
+	if int(i) < s.fusedRows {
+		a := int(i) * s.dim
+		return vec.Dot(s.fused[a:a+s.dim], q)
+	}
+	ri := s.st.Row(int(i))
+	var sum float32
+	for m := range s.w2 {
+		if s.w2[m] == 0 {
+			continue
+		}
+		a, b := s.offs[m], s.offs[m+1]
+		// q already carries one factor of ω_m; the stored row carries none.
+		sum += s.w[m] * vec.Dot(ri[a:b], q[a:b])
+	}
+	return sum
 }
 
-// Vector returns a view of stored vector i. The view is only valid until
-// the next Append (which may reallocate the flat buffer); re-fetch rather
-// than caching across mutations.
+// Vector returns stored vector i as a weighted concatenation. While the
+// fused buffer is materialized this is a zero-copy view; after Release it
+// allocates and packs the row on demand (acceptable on the rare
+// incremental-insert path, not in build loops).
 func (s *Space) Vector(i int32) []float32 {
-	a := int(i) * s.dim
-	return s.buf[a : a+s.dim : a+s.dim]
+	if int(i) < s.fusedRows {
+		a := int(i) * s.dim
+		return s.fused[a : a+s.dim : a+s.dim]
+	}
+	out := make([]float32, s.dim)
+	s.packRow(int(i), out)
+	return out
 }
 
 // SelfIP returns IP(v, v), identical for every vector in the space.
@@ -134,13 +282,24 @@ func (s *Space) SelfIP() float32 { return s.selfIP }
 // result — and everything seeded from it — is independent of worker count.
 func (s *Space) Centroid() []float32 {
 	c := make([]float32, s.dim)
-	for i := 0; i < s.n; i++ {
-		row := s.buf[i*s.dim : (i+1)*s.dim]
+	n := s.Len()
+	var scratch []float32
+	for i := 0; i < n; i++ {
+		var row []float32
+		if i < s.fusedRows {
+			row = s.fused[i*s.dim : (i+1)*s.dim]
+		} else {
+			if scratch == nil {
+				scratch = make([]float32, s.dim)
+			}
+			s.packRow(i, scratch)
+			row = scratch
+		}
 		for j, x := range row {
 			c[j] += x
 		}
 	}
-	inv := 1 / float32(s.n)
+	inv := 1 / float32(n)
 	for j := range c {
 		c[j] *= inv
 	}
@@ -154,13 +313,14 @@ func (s *Space) Centroid() []float32 {
 // deterministic for any worker count.
 func (s *Space) Medoid() int32 {
 	c := s.Centroid()
-	ips := make([]float32, s.n)
-	parallelVertices(s.n, func(i int) {
+	n := s.Len()
+	ips := make([]float32, n)
+	parallelVertices(n, func(i int) {
 		ips[i] = s.IPTo(int32(i), c)
 	})
 	best := int32(0)
 	bestIP := ips[0]
-	for i := 1; i < s.n; i++ {
+	for i := 1; i < n; i++ {
 		if ips[i] > bestIP {
 			bestIP = ips[i]
 			best = int32(i)

@@ -18,135 +18,140 @@ import (
 
 // Fused is a built fused index: the proximity graph over weighted
 // concatenated vectors plus everything needed to search it.
+//
+// The corpus lives once, in Store — the same vec.FlatStore the owning
+// collection packs objects into. Build materializes a transient fused
+// (weighted-concatenation) buffer, constructs the graph over it, and
+// releases it before returning, so a built index holds the vectors
+// exactly once; incremental inserts and every searcher score against the
+// shared store directly.
 type Fused struct {
 	// Graph is the proximity graph (vertices = object IDs).
 	Graph *graph.Graph
 	// Weights are the modality weights ω the index was built under.
 	Weights vec.Weights
-	// Objects are the indexed multi-vector objects (shared with the
-	// caller, read-only).
-	Objects []vec.Multi
+	// Store is the shared packed corpus (one row per object, shared with
+	// the collection and every searcher; read-only here).
+	Store *vec.FlatStore
 	// BuildTime records wall-clock construction time (Fig. 7).
 	BuildTime time.Duration
 	// Pipeline describes how the graph was assembled.
 	Pipeline string
 
-	// space caches the weighted-concatenation space for incremental
-	// inserts; rebuilt lazily after deserialization.
+	// space is the store-backed view incremental inserts route through.
+	// Its fused buffer is released after construction; after that it
+	// computes weighted similarities from Store rows on demand.
 	space *graph.Space
-	// store is the packed flat copy of Objects every searcher scores
-	// against; built once per index so pooled searchers share it.
-	store *vec.FlatStore
 }
 
-// BuildFused constructs the fused index over objects with the given
-// weights using pipeline p.
+// BuildFusedStore constructs the fused index over the rows of the shared
+// store with the given weights using pipeline p. The weighted fused
+// buffer exists only for the duration of the build.
+func BuildFusedStore(store *vec.FlatStore, w vec.Weights, p graph.Pipeline) (*Fused, error) {
+	return buildOverStore(store, w, p.Name, func(s *graph.Space) (*graph.Graph, error) {
+		return p.Build(s)
+	})
+}
+
+// BuildFused constructs the fused index over a [][]float32-of-slices
+// corpus by packing it into a fresh store first — the convenience entry
+// point for experiment harnesses and tests that do not hold a shared
+// store.
 func BuildFused(objects []vec.Multi, w vec.Weights, p graph.Pipeline) (*Fused, error) {
 	if len(objects) == 0 {
 		return nil, fmt.Errorf("index: no objects to index")
 	}
-	start := time.Now()
-	space := graph.NewFusedSpace(objects, w)
-	g, err := p.Build(space)
-	if err != nil {
-		return nil, err
-	}
-	return &Fused{
-		Graph:     g,
-		Weights:   w.Clone(),
-		Objects:   objects,
-		BuildTime: time.Since(start),
-		Pipeline:  p.Name,
-		space:     space,
-		store:     vec.FlatFromMulti(objects),
-	}, nil
+	return BuildFusedStore(vec.FlatFromMulti(objects), w, p)
 }
 
-// BuildFusedGraph wraps an externally built graph (HNSW, Vamana, HCNNG)
-// into a Fused index so every §VIII-G competitor searches through the same
-// joint-search machinery.
+// BuildFusedGraphStore wraps an externally built graph (HNSW, Vamana,
+// HCNNG) over the shared store into a Fused index so every §VIII-G
+// competitor searches through the same joint-search machinery.
+func BuildFusedGraphStore(store *vec.FlatStore, w vec.Weights, name string, build func(*graph.Space) *graph.Graph) (*Fused, error) {
+	return buildOverStore(store, w, name, func(s *graph.Space) (*graph.Graph, error) {
+		return build(s), nil
+	})
+}
+
+// BuildFusedGraph is BuildFusedGraphStore for callers holding a
+// [][]float32-of-slices corpus.
 func BuildFusedGraph(objects []vec.Multi, w vec.Weights, name string, build func(*graph.Space) *graph.Graph) (*Fused, error) {
 	if len(objects) == 0 {
 		return nil, fmt.Errorf("index: no objects to index")
 	}
+	return BuildFusedGraphStore(vec.FlatFromMulti(objects), w, name, build)
+}
+
+func buildOverStore(store *vec.FlatStore, w vec.Weights, name string, build func(*graph.Space) (*graph.Graph, error)) (*Fused, error) {
+	if store == nil || store.Len() == 0 {
+		return nil, fmt.Errorf("index: no objects to index")
+	}
 	start := time.Now()
-	space := graph.NewFusedSpace(objects, w)
-	g := build(space)
+	space := graph.NewFusedSpaceFromStore(store, w)
+	g, err := build(space)
+	if err != nil {
+		return nil, err
+	}
+	// The weighted fused block was only needed to build the graph; from
+	// here on the store is the single corpus copy.
+	space.Release()
 	return &Fused{
 		Graph:     g,
 		Weights:   w.Clone(),
-		Objects:   objects,
+		Store:     store,
 		BuildTime: time.Since(start),
 		Pipeline:  name,
-		store:     vec.FlatFromMulti(objects),
+		space:     space,
 	}, nil
-}
-
-// Store returns the index's packed flat vector store, building it on
-// first use. Not safe to call concurrently with itself or with Insert;
-// the Engine materializes it under its write lock before pooling
-// searchers.
-func (f *Fused) Store() *vec.FlatStore {
-	if f.store == nil {
-		f.store = vec.FlatFromMulti(f.Objects)
-	}
-	return f.store
-}
-
-// AdoptStore installs a pre-packed flat store as the index's search
-// storage, avoiding the copy Store would otherwise make. The store's rows
-// must be exactly Objects in order — the v3 collection loader's arena
-// satisfies this by construction.
-func (f *Fused) AdoptStore(st *vec.FlatStore) error {
-	if st == nil {
-		return fmt.Errorf("index: cannot adopt a nil store")
-	}
-	if st.Len() != len(f.Objects) {
-		return fmt.Errorf("index: store has %d rows, index has %d objects", st.Len(), len(f.Objects))
-	}
-	if len(f.Objects) > 0 {
-		dims := f.Objects[0].Dims()
-		sd := st.Dims()
-		if len(sd) != len(dims) {
-			return fmt.Errorf("index: store has %d modalities, objects have %d", len(sd), len(dims))
-		}
-		for i := range dims {
-			if sd[i] != dims[i] {
-				return fmt.Errorf("index: store modality %d dim %d, objects have %d", i, sd[i], dims[i])
-			}
-		}
-	}
-	f.store = st
-	return nil
 }
 
 // NewSearcher returns a fresh single-goroutine searcher over the index.
 // All searchers share the index's flat store, so creating one costs only
 // its visit buffers.
 func (f *Fused) NewSearcher(opts ...search.Option) *search.Searcher {
-	return search.NewFlat(f.Graph, f.Store(), f.Weights, opts...)
+	return search.NewFlat(f.Graph, f.Store, f.Weights, opts...)
 }
 
 // SizeBytes reports the index size (graph memory only, matching how the
 // paper reports index size separately from the vector data).
 func (f *Fused) SizeBytes() int64 { return f.Graph.SizeBytes() }
 
-// Insert incrementally adds a new object (§IX dynamic updates): the
-// object's weighted concatenation beam-searches for its neighborhood and
-// links with MRNG selection plus degree-capped reverse edges. gamma and
-// beam default to 30 and 4·gamma when non-positive. Searchers created
-// before the insert do not see the new object; create them after.
-func (f *Fused) Insert(o vec.Multi, gamma, beam int) (int, error) {
-	if len(f.Objects) == 0 {
-		return 0, fmt.Errorf("index: cannot insert into an empty index")
+// CorpusBytes reports the bytes committed to the shared vector store —
+// the single resident copy of the corpus.
+func (f *Fused) CorpusBytes() int64 {
+	if f.Store == nil {
+		return 0
 	}
-	if len(o) != len(f.Objects[0]) {
-		return 0, fmt.Errorf("index: object has %d modalities, index has %d", len(o), len(f.Objects[0]))
+	return f.Store.MemoryBytes()
+}
+
+// FusedBytes reports the bytes of the transient weighted-concatenation
+// buffer. It is 0 for any index returned by the Build functions (the
+// buffer is released before they return); a non-zero value can only be
+// observed mid-build.
+func (f *Fused) FusedBytes() int64 {
+	if f.space == nil {
+		return 0
 	}
-	for i, v := range o {
-		if len(v) != len(f.Objects[0][i]) {
-			return 0, fmt.Errorf("index: modality %d has dim %d, index has %d", i, len(v), len(f.Objects[0][i]))
-		}
+	return f.space.FusedBytes()
+}
+
+// Insert incrementally links store row id into the graph (§IX dynamic
+// updates): the row must already have been appended to the shared store
+// by the owning collection, and must be the next unlinked vertex. Its
+// weighted concatenation beam-searches for its neighborhood and links
+// with MRNG selection plus degree-capped reverse edges. gamma and beam
+// default to 30 and 4·gamma when non-positive. Searchers created before
+// the insert do not see the new object; create them after.
+func (f *Fused) Insert(id, gamma, beam int) error {
+	if f.Store == nil {
+		return fmt.Errorf("index: cannot insert into an index with no store")
+	}
+	if id != f.Graph.NumVertices() {
+		return fmt.Errorf("index: insert id %d is not the next vertex (graph has %d)", id, f.Graph.NumVertices())
+	}
+	if id >= f.Store.Len() {
+		return fmt.Errorf("index: insert id %d not yet in the store (%d rows)", id, f.Store.Len())
 	}
 	if gamma <= 0 {
 		gamma = 30
@@ -155,15 +160,12 @@ func (f *Fused) Insert(o vec.Multi, gamma, beam int) (int, error) {
 		beam = 4 * gamma
 	}
 	if f.space == nil {
-		f.space = graph.NewFusedSpace(f.Objects, f.Weights)
+		// Deserialized index: attach a lazy view over the shared store —
+		// no fused buffer is ever materialized for inserts.
+		f.space = graph.StoreView(f.Store, f.Weights)
 	}
-	f.Objects = append(f.Objects, o)
-	if f.store != nil {
-		f.store.AppendMulti(o)
-	}
-	id := f.space.Append(vec.WeightedConcat(f.Weights, o))
-	graph.Insert(f.space, f.Graph, id, gamma, beam)
-	return int(id), nil
+	graph.Insert(f.space, f.Graph, int32(id), gamma, beam)
+	return nil
 }
 
 // ---------------------------------------------------------------------------
@@ -171,16 +173,27 @@ func (f *Fused) Insert(o vec.Multi, gamma, beam int) (int, error) {
 
 // BruteForce performs exact top-k retrieval by scanning all objects — the
 // paper's "--" baselines (§VIII-D) and the ground-truth oracle for the
-// feature datasets.
+// feature datasets. Exactly one of Store and Objects should be set:
+// production paths share the collection's flat store (scored through the
+// fused row kernel), while experiment harnesses may pass a plain object
+// slice.
 type BruteForce struct {
 	Objects []vec.Multi
+	Store   *vec.FlatStore
 	Weights vec.Weights
+}
+
+func (b *BruteForce) numObjects() int {
+	if b.Store != nil {
+		return b.Store.Len()
+	}
+	return len(b.Objects)
 }
 
 // TopK returns the exact top-k object IDs by joint similarity to query,
 // best first.
 func (b *BruteForce) TopK(query vec.Multi, k int) []search.Result {
-	return bruteTopK(b.Objects, b.Weights, query, k, 1, nil)
+	return b.topK(query, k, 1, nil)
 }
 
 // TopKFiltered is TopK restricted to objects accepted by keep (nil keeps
@@ -188,25 +201,40 @@ func (b *BruteForce) TopK(query vec.Multi, k int) []search.Result {
 // vector-plus-constraint queries of §III, also used to exclude
 // tombstoned objects from exact results.
 func (b *BruteForce) TopKFiltered(query vec.Multi, k int, keep func(id int) bool) []search.Result {
-	return bruteTopK(b.Objects, b.Weights, query, k, 1, keep)
+	return b.topK(query, k, 1, keep)
 }
 
 // TopKParallel is TopK using all cores; used for bulk ground-truth
 // computation, not for timing comparisons (the paper measures
 // single-threaded search).
 func (b *BruteForce) TopKParallel(query vec.Multi, k int) []search.Result {
-	return bruteTopK(b.Objects, b.Weights, query, k, runtime.GOMAXPROCS(0), nil)
+	return b.topK(query, k, runtime.GOMAXPROCS(0), nil)
 }
 
-func bruteTopK(objects []vec.Multi, w vec.Weights, query vec.Multi, k int, workers int, keep func(id int) bool) []search.Result {
-	n := len(objects)
+func (b *BruteForce) topK(query vec.Multi, k, workers int, keep func(id int) bool) []search.Result {
+	n := b.numObjects()
 	if n == 0 || k <= 0 {
 		return nil
 	}
 	if k > n {
 		k = n
 	}
-	scanner := vec.NewPartialIPScanner(w, query)
+	// Store-backed scans run the fused flat kernel over packed rows; the
+	// legacy path dispatches per modality slice. Both use the same
+	// distance formulation, so results agree.
+	var flat *vec.FlatScanner
+	var legacy *vec.PartialIPScanner
+	if b.Store != nil {
+		flat = vec.NewFlatScanner(b.Store, b.Weights, query)
+	} else {
+		legacy = vec.NewPartialIPScanner(b.Weights, query)
+	}
+	score := func(i int) float32 {
+		if flat != nil {
+			return flat.FullIP(b.Store.Row(i))
+		}
+		return legacy.FullIP(b.Objects[i])
+	}
 	type shard struct{ res []search.Result }
 	if workers > n {
 		workers = n
@@ -221,7 +249,7 @@ func bruteTopK(objects []vec.Multi, w vec.Weights, query vec.Multi, k int, worke
 	for wi := 0; wi < workers; wi++ {
 		go func(wi int) {
 			defer wg.Done()
-			// The scanner is stateless per call, so sharing it across
+			// The scanners are stateless per call, so sharing them across
 			// workers is safe for FullIP.
 			lo, hi := wi*chunk, (wi+1)*chunk
 			if hi > n {
@@ -232,7 +260,7 @@ func bruteTopK(objects []vec.Multi, w vec.Weights, query vec.Multi, k int, worke
 				if keep != nil && !keep(i) {
 					continue
 				}
-				ip := scanner.FullIP(objects[i])
+				ip := score(i)
 				if len(local) == k && ip <= local[len(local)-1].IP {
 					continue
 				}

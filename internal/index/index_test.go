@@ -211,7 +211,7 @@ func TestIndexSerializationRoundTrip(t *testing.T) {
 	if err := f.Write(&buf); err != nil {
 		t.Fatal(err)
 	}
-	got, err := ReadFused(&buf, objects)
+	got, err := ReadFused(&buf, vec.FlatFromMulti(objects))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -253,7 +253,7 @@ func TestIndexFileRoundTrip(t *testing.T) {
 	if err := f.Save(path); err != nil {
 		t.Fatal(err)
 	}
-	got, err := Load(path, objects)
+	got, err := Load(path, vec.FlatFromMulti(objects))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -272,10 +272,10 @@ func TestReadFusedRejectsMismatchedObjects(t *testing.T) {
 	if err := f.Write(&buf); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := ReadFused(&buf, objects[:49]); err == nil {
-		t.Error("mismatched object count did not error")
+	if _, err := ReadFused(&buf, vec.FlatFromMulti(objects[:49])); err == nil {
+		t.Error("mismatched store row count did not error")
 	}
-	if _, err := ReadFused(bytes.NewReader([]byte("garbage")), objects); err == nil {
+	if _, err := ReadFused(bytes.NewReader([]byte("garbage")), vec.FlatFromMulti(objects)); err == nil {
 		t.Error("garbage did not error")
 	}
 }

@@ -20,8 +20,8 @@ import (
 //	numVertices uint32, seed uint32
 //	per vertex: degree uint32, neighbors uint32...
 //
-// Object vectors are not stored — the index references the dataset, which
-// has its own serialization (internal/dataset).
+// Object vectors are not stored — the index references the shared corpus
+// store, which has its own serialization (the collection formats).
 
 var ixMagic = [8]byte{'M', 'U', 'S', 'T', 'I', 'X', '1', '\n'}
 
@@ -64,9 +64,11 @@ func (f *Fused) Write(w io.Writer) error {
 	return bw.Flush()
 }
 
-// ReadFused deserializes an index structure and attaches the given object
-// vectors (which must be the same dataset the index was built over).
-func ReadFused(r io.Reader, objects []vec.Multi) (*Fused, error) {
+// ReadFused deserializes an index structure and attaches the shared
+// corpus store (which must hold the same rows the index was built over).
+// The loaded index is single-copy from the start: searches and
+// incremental inserts both run against store, with no fused buffer.
+func ReadFused(r io.Reader, store *vec.FlatStore) (*Fused, error) {
 	br := bufio.NewReaderSize(r, 1<<20)
 	var got [8]byte
 	if _, err := io.ReadFull(br, got[:]); err != nil {
@@ -110,8 +112,12 @@ func ReadFused(r io.Reader, objects []vec.Multi) (*Fused, error) {
 	if err != nil {
 		return nil, err
 	}
-	if int(nv) != len(objects) {
-		return nil, fmt.Errorf("index: graph has %d vertices, dataset has %d objects", nv, len(objects))
+	storeLen := 0
+	if store != nil {
+		storeLen = store.Len()
+	}
+	if int(nv) != storeLen {
+		return nil, fmt.Errorf("index: graph has %d vertices, store has %d rows", nv, storeLen)
 	}
 	seed, err := readU32()
 	if err != nil {
@@ -145,7 +151,7 @@ func ReadFused(r io.Reader, objects []vec.Multi) (*Fused, error) {
 	return &Fused{
 		Graph:    &graph.Graph{Adj: adj, Seed: int32(seed)},
 		Weights:  weights,
-		Objects:  objects,
+		Store:    store,
 		Pipeline: string(pBytes),
 	}, nil
 }
@@ -163,12 +169,12 @@ func (f *Fused) Save(path string) error {
 	return file.Close()
 }
 
-// Load reads an index from path and attaches objects.
-func Load(path string, objects []vec.Multi) (*Fused, error) {
+// Load reads an index from path and attaches the shared corpus store.
+func Load(path string, store *vec.FlatStore) (*Fused, error) {
 	file, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer file.Close()
-	return ReadFused(file, objects)
+	return ReadFused(file, store)
 }

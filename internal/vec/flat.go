@@ -2,28 +2,53 @@ package vec
 
 import "fmt"
 
-// FlatStore packs the multi-vectors of many objects into one contiguous
-// []float32: object i occupies the row buf[i*rowDim : (i+1)*rowDim], and
-// modality m of that object is the sub-range [offs[m], offs[m+1]) of the
-// row. Flat storage removes the two levels of pointer chasing a
+// FlatStore packs the multi-vectors of many objects into rows of one
+// contiguous arena: object i occupies a rowDim-float row, and modality m of
+// that object is the sub-range [offs[m], offs[m+1]) of the row. Flat
+// storage removes the two levels of pointer chasing a
 // [][]float32-of-[]float32 layout costs on every distance computation and
 // keeps each candidate's modalities on adjacent cache lines, which is what
 // the fused FlatScanner kernel relies on for its throughput.
 //
-// A FlatStore is safe for concurrent readers. Append invalidates nothing —
-// Row and Multi compute views on demand — but must not race with readers;
-// callers serialize mutation externally (the Engine holds its write lock).
+// The arena is chunked so it can grow without ever moving a stored row:
+// the base block (the bulk arena — sized by the construction capacity or
+// adopted whole from a v3/v4 collection file) is followed by fixed-size
+// overflow chunks, each allocated at full size the moment it is needed.
+// Appends therefore never reallocate previously written memory, so views
+// returned by Row/Modality/Multi stay valid for the lifetime of the store —
+// this is what lets one store be the single shared corpus for the
+// collection, the graph build, every pooled searcher, and persistence at
+// once, instead of each layer holding its own copy.
+//
+// A FlatStore is safe for concurrent readers. Append must not race with
+// readers; callers serialize mutation externally (the Engine holds its
+// write lock). Snapshot pins a length for lock-free readers that must not
+// observe concurrent appends.
 type FlatStore struct {
 	dims   []int
 	offs   []int // len(dims)+1 prefix offsets into a row
 	rowDim int
-	buf    []float32
-	n      int
+	// bulk is the base arena block: bulkCap rows allocated up front (or
+	// adopted from a collection file). Rows [0, min(n, bulkCap)) live here.
+	bulk    []float32
+	bulkCap int
+	// chunks hold rows appended past the bulk capacity, chunkRows rows per
+	// chunk (power of two), each chunk fully allocated on creation.
+	chunks     [][]float32
+	chunkRows  int
+	chunkShift uint
+	n          int
 }
 
-// NewFlatStore creates an empty store for objects with the given
-// per-modality dimensions, pre-allocating room for capacity rows.
-func NewFlatStore(dims []int, capacity int) *FlatStore {
+// chunkTargetFloats sizes overflow chunks at ~64 KiB of float32s: large
+// enough that the per-chunk allocation amortizes over hundreds of rows,
+// small enough that the committed-but-unfilled slack of the last chunk
+// keeps total corpus memory within a whisker of the raw payload even for
+// small collections.
+const chunkTargetFloats = 1 << 14
+
+// newFlatLayout validates dims and computes the row layout.
+func newFlatLayout(dims []int) ([]int, []int, int) {
 	if len(dims) == 0 {
 		panic("vec: flat store needs at least one modality")
 	}
@@ -34,16 +59,36 @@ func NewFlatStore(dims []int, capacity int) *FlatStore {
 		}
 		offs[i+1] = offs[i] + d
 	}
-	rowDim := offs[len(dims)]
+	return append([]int(nil), dims...), offs, offs[len(dims)]
+}
+
+// NewFlatStore creates an empty store for objects with the given
+// per-modality dimensions. capacity rows are committed up front as one
+// contiguous bulk block; appends beyond it land in overflow chunks.
+func NewFlatStore(dims []int, capacity int) *FlatStore {
+	d, offs, rowDim := newFlatLayout(dims)
 	if capacity < 0 {
 		capacity = 0
 	}
-	return &FlatStore{
-		dims:   append([]int(nil), dims...),
-		offs:   offs,
-		rowDim: rowDim,
-		buf:    make([]float32, 0, capacity*rowDim),
+	s := &FlatStore{dims: d, offs: offs, rowDim: rowDim, bulkCap: capacity}
+	if capacity > 0 {
+		s.bulk = make([]float32, capacity*rowDim)
 	}
+	s.initChunkLayout()
+	return s
+}
+
+// initChunkLayout picks the overflow chunk size: the smallest power-of-two
+// row count whose chunk reaches ~chunkTargetFloats (at least one row).
+func (s *FlatStore) initChunkLayout() {
+	rows := 1
+	shift := uint(0)
+	for rows*s.rowDim < chunkTargetFloats && rows < 1<<16 {
+		rows <<= 1
+		shift++
+	}
+	s.chunkRows = rows
+	s.chunkShift = shift
 }
 
 // FlatFromMulti packs objects into a fresh store. It returns nil for an
@@ -59,18 +104,26 @@ func FlatFromMulti(objects []Multi) *FlatStore {
 	return s
 }
 
-// FlatStoreFromArena wraps an already packed arena — rows of the given
+// FlatStoreFromArena adopts an already packed arena — rows of the given
 // per-modality dimensions laid out back-to-back — without copying. The
-// v3 collection loader produces exactly this layout, so a loaded engine
-// adopts its arena as the search store for free. len(arena) must be a
-// multiple of the row dimension.
+// v3/v4 collection loaders produce exactly this layout, so a loaded engine
+// uses its arena as the shared corpus store for free; subsequent appends
+// land in overflow chunks, never touching (or invalidating views into) the
+// adopted block. len(arena) must be a whole number of rows.
 func FlatStoreFromArena(dims []int, arena []float32) *FlatStore {
-	s := NewFlatStore(dims, 0)
-	if len(arena)%s.rowDim != 0 {
-		panic(fmt.Sprintf("vec: arena of %d floats is not a whole number of %d-float rows", len(arena), s.rowDim))
+	d, offs, rowDim := newFlatLayout(dims)
+	if len(arena)%rowDim != 0 {
+		panic(fmt.Sprintf("vec: arena of %d floats is not a whole number of %d-float rows", len(arena), rowDim))
 	}
-	s.buf = arena
-	s.n = len(arena) / s.rowDim
+	s := &FlatStore{
+		dims:    d,
+		offs:    offs,
+		rowDim:  rowDim,
+		bulk:    arena,
+		bulkCap: len(arena) / rowDim,
+		n:       len(arena) / rowDim,
+	}
+	s.initChunkLayout()
 	return s
 }
 
@@ -83,31 +136,67 @@ func (s *FlatStore) Modalities() int { return len(s.dims) }
 // Dims returns the per-modality dimensions.
 func (s *FlatStore) Dims() []int { return append([]int(nil), s.dims...) }
 
+// Offsets returns the per-modality prefix offsets into a row
+// (len(dims)+1 entries). The returned slice is shared and must not be
+// mutated; it exists so row-view consumers (the fused graph space) avoid
+// an allocation per accessor call.
+func (s *FlatStore) Offsets() []int { return s.offs }
+
 // RowDim returns the length of one packed row (the concatenated dim).
 func (s *FlatStore) RowDim() int { return s.rowDim }
 
-// Row returns object i's packed row (a view, not a copy).
+// Row returns object i's packed row (a view, not a copy). Views stay valid
+// across appends for the lifetime of the store.
 func (s *FlatStore) Row(i int) []float32 {
-	off := i * s.rowDim
-	return s.buf[off : off+s.rowDim : off+s.rowDim]
+	if i < s.bulkCap {
+		off := i * s.rowDim
+		return s.bulk[off : off+s.rowDim : off+s.rowDim]
+	}
+	j := i - s.bulkCap
+	c := s.chunks[j>>s.chunkShift]
+	off := (j & (s.chunkRows - 1)) * s.rowDim
+	return c[off : off+s.rowDim : off+s.rowDim]
 }
 
 // Modality returns modality m of object i (a view, not a copy).
 func (s *FlatStore) Modality(i, m int) []float32 {
-	off := i * s.rowDim
-	a, b := off+s.offs[m], off+s.offs[m+1]
-	return s.buf[a:b:b]
+	row := s.Row(i)
+	return row[s.offs[m]:s.offs[m+1]:s.offs[m+1]]
 }
 
 // Multi returns object i as a Multi whose per-modality slices are views
 // into the packed row, so FlatFromMulti followed by Multi round-trips
 // without copying.
 func (s *FlatStore) Multi(i int) Multi {
+	row := s.Row(i)
 	out := make(Multi, len(s.dims))
 	for m := range s.dims {
-		out[m] = s.Modality(i, m)
+		out[m] = row[s.offs[m]:s.offs[m+1]:s.offs[m+1]]
 	}
 	return out
+}
+
+// AppendRow reserves the next row and returns it for the caller to fill.
+// The returned slice is zeroed bulk/chunk memory of length RowDim; callers
+// write the packed modalities directly into it (the Collection normalizes
+// straight into the arena this way, with no intermediate per-object
+// allocation). Not safe to call concurrently with readers.
+func (s *FlatStore) AppendRow() []float32 {
+	var row []float32
+	if s.n < s.bulkCap {
+		off := s.n * s.rowDim
+		row = s.bulk[off : off+s.rowDim : off+s.rowDim]
+	} else {
+		j := s.n - s.bulkCap
+		ci := j >> s.chunkShift
+		if ci == len(s.chunks) {
+			s.chunks = append(s.chunks, make([]float32, s.chunkRows*s.rowDim))
+		}
+		off := (j & (s.chunkRows - 1)) * s.rowDim
+		row = s.chunks[ci][off : off+s.rowDim : off+s.rowDim]
+	}
+	s.n++
+	return row
 }
 
 // AppendMulti validates o against the store layout, packs it into a new
@@ -121,11 +210,69 @@ func (s *FlatStore) AppendMulti(o Multi) int {
 			panic(fmt.Sprintf("vec: flat append modality %d has dim %d, store expects %d", m, len(v), s.dims[m]))
 		}
 	}
-	for _, v := range o {
-		s.buf = append(s.buf, v...)
+	row := s.AppendRow()
+	for m, v := range o {
+		copy(row[s.offs[m]:s.offs[m+1]], v)
 	}
-	s.n++
 	return s.n - 1
+}
+
+// Snapshot returns a read-only view of the store pinned at its current
+// length: the snapshot shares every stored row (zero-copy) but carries its
+// own chunk table and count, so appends to the original — which only write
+// memory past the pinned length and extend the original's chunk table —
+// are invisible to, and race-free against, readers of the snapshot. Used
+// for off-lock work (weight training) over a consistent corpus.
+func (s *FlatStore) Snapshot() *FlatStore {
+	snap := *s
+	snap.chunks = append([][]float32(nil), s.chunks...)
+	return &snap
+}
+
+// MemoryBytes reports the bytes committed to vector storage: the bulk
+// block plus every allocated overflow chunk. This is the "corpus" term of
+// the per-component accounting in Stats — with the single-store
+// architecture it is also the only resident copy of the vectors.
+func (s *FlatStore) MemoryBytes() int64 {
+	total := len(s.bulk)
+	for _, c := range s.chunks {
+		total += len(c)
+	}
+	return int64(total) * 4
+}
+
+// Runs invokes fn over the contiguous filled regions of the arena in row
+// order: the filled prefix of the bulk block, then the filled prefix of
+// each overflow chunk. Persistence writes the whole corpus with one pass
+// over these few large runs instead of one write per object.
+func (s *FlatStore) Runs(fn func(run []float32) error) error {
+	remaining := s.n
+	if s.bulkCap > 0 {
+		rows := remaining
+		if rows > s.bulkCap {
+			rows = s.bulkCap
+		}
+		if rows > 0 {
+			if err := fn(s.bulk[:rows*s.rowDim]); err != nil {
+				return err
+			}
+		}
+		remaining -= rows
+	}
+	for _, c := range s.chunks {
+		if remaining <= 0 {
+			break
+		}
+		rows := remaining
+		if rows > s.chunkRows {
+			rows = s.chunkRows
+		}
+		if err := fn(c[:rows*s.rowDim]); err != nil {
+			return err
+		}
+		remaining -= rows
+	}
+	return nil
 }
 
 // PackQuery flattens a query multi-vector into one row in the store's
@@ -170,9 +317,9 @@ type flatSeg struct {
 // IP_joint = Σω_i² − ½·Σω_i²·‖q_i−u_i‖², expanded with the stored rows'
 // unit per-modality norms (Collection.Add normalizes; so does the paper).
 // Scan implements the Lemma 4 early termination by checking the shrinking
-// upper bound at modality-segment boundaries only.
+// upper bound at modality boundaries only.
 type FlatScanner struct {
-	sq    []float32 // ω_i²-scaled packed query (zero on inactive ranges)
+	sq    []float32 // ω_i²-pre-scaled packed query (zero on inactive ranges)
 	segs  []flatSeg
 	sumW2 float32
 }

@@ -235,3 +235,142 @@ func BenchmarkKernelNaiveJointIP(b *testing.B) {
 }
 
 var sinkF32 float32
+
+// Appends must never invalidate previously returned views: the arena is
+// chunked, so growing the store past any capacity leaves every existing
+// row exactly where it was. This is the property that lets one store be
+// shared by the collection, the index, and every searcher while the
+// engine keeps inserting.
+func TestFlatStoreAppendKeepsViewsValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	dims := []int{8, 5}
+	st := NewFlatStore(dims, 3) // tiny bulk so appends spill into chunks fast
+	var first Multi
+	var snapshots []struct {
+		id  int
+		ptr *float32
+		val float32
+	}
+	for i := 0; i < 5000; i++ {
+		o := randomMulti(rng, dims)
+		id := st.AppendMulti(o)
+		if id != i {
+			t.Fatalf("append id = %d, want %d", id, i)
+		}
+		if i == 0 {
+			first = st.Multi(0)
+		}
+		if i%977 == 0 {
+			row := st.Row(i)
+			snapshots = append(snapshots, struct {
+				id  int
+				ptr *float32
+				val float32
+			}{i, &row[0], row[0]})
+		}
+	}
+	for _, snap := range snapshots {
+		row := st.Row(snap.id)
+		if &row[0] != snap.ptr {
+			t.Fatalf("row %d moved after later appends", snap.id)
+		}
+		if row[0] != snap.val {
+			t.Fatalf("row %d value changed after later appends", snap.id)
+		}
+	}
+	if &first[0][0] != &st.Row(0)[0] {
+		t.Fatal("early Multi view no longer aliases row 0")
+	}
+}
+
+// An adopted arena must be served zero-copy, and appends after adoption
+// must land in overflow chunks without touching the adopted block.
+func TestFlatStoreFromArenaGrows(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	dims := []int{6, 4}
+	arena := make([]float32, 10*10)
+	for i := range arena {
+		arena[i] = float32(rng.NormFloat64())
+	}
+	st := FlatStoreFromArena(dims, arena)
+	if st.Len() != 10 {
+		t.Fatalf("adopted %d rows, want 10", st.Len())
+	}
+	if &st.Row(4)[0] != &arena[40] {
+		t.Fatal("adopted rows are not zero-copy")
+	}
+	keep := st.Row(9)
+	keepPtr, keepVal := &keep[0], keep[0]
+	for i := 0; i < 300; i++ {
+		st.AppendMulti(randomMulti(rng, dims))
+	}
+	if st.Len() != 310 {
+		t.Fatalf("store len = %d after appends, want 310", st.Len())
+	}
+	if &st.Row(9)[0] != keepPtr || st.Row(9)[0] != keepVal {
+		t.Fatal("adopted row moved or changed after post-adoption appends")
+	}
+	if &st.Row(4)[0] != &arena[40] {
+		t.Fatal("adopted block no longer aliased after appends")
+	}
+}
+
+// Snapshot pins the length: appends to the original are invisible to the
+// snapshot, while all shared rows stay readable through it.
+func TestFlatStoreSnapshot(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	dims := []int{7}
+	st := NewFlatStore(dims, 0)
+	for i := 0; i < 20; i++ {
+		st.AppendMulti(randomMulti(rng, dims))
+	}
+	snap := st.Snapshot()
+	want := Clone(snap.Row(13))
+	for i := 0; i < 4000; i++ {
+		st.AppendMulti(randomMulti(rng, dims))
+	}
+	if snap.Len() != 20 {
+		t.Fatalf("snapshot len = %d, want pinned 20", snap.Len())
+	}
+	got := snap.Row(13)
+	for j := range want {
+		if got[j] != want[j] {
+			t.Fatal("snapshot row changed after appends to the original")
+		}
+	}
+	if st.Len() != 4020 {
+		t.Fatalf("original len = %d, want 4020", st.Len())
+	}
+}
+
+// Runs must cover exactly the filled arena in row order, and the memory
+// accounting must stay within one overflow chunk of the raw payload.
+func TestFlatStoreRunsAndMemory(t *testing.T) {
+	rng := rand.New(rand.NewSource(45))
+	dims := []int{9, 3}
+	st := NewFlatStore(dims, 7)
+	var want []float32
+	for i := 0; i < 2500; i++ {
+		o := randomMulti(rng, dims)
+		st.AppendMulti(o)
+		for _, v := range o {
+			want = append(want, v...)
+		}
+	}
+	var got []float32
+	if err := st.Runs(func(run []float32) error { got = append(got, run...); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("runs covered %d floats, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("runs float %d differs", i)
+		}
+	}
+	raw := int64(st.Len()) * int64(st.RowDim()) * 4
+	if mem := st.MemoryBytes(); mem < raw || mem > raw+4*chunkTargetFloats*2 {
+		t.Fatalf("memory %d bytes for %d raw, want within one chunk of slack", mem, raw)
+	}
+}

@@ -63,19 +63,22 @@ type Object = [][]float32
 type Weights = []float32
 
 // Collection accumulates multimodal objects with a fixed modality layout.
+//
+// Vectors live in one shared arena-backed vec.FlatStore from the moment
+// they are added: Add normalizes each modality directly into the next
+// packed row, and the same store is what graph construction, every pooled
+// searcher, brute-force scans, and persistence operate on — the corpus is
+// resident exactly once. The store's arena is chunked, so appends never
+// move existing rows and zero-copy views handed out earlier stay valid.
 type Collection struct {
 	dims []int
 	// names optionally labels the modalities (set by the Engine's Schema
 	// and preserved by the v2+ persistence formats); nil for collections
 	// created positionally.
-	names   []string
-	objects []vec.Multi
-	// arena, when non-nil, is the flat backing block every object's
-	// modality slices view into — set by the v3 collection loader so the
-	// packed layout can be adopted as a search store without re-copying.
-	// It is trustworthy only while len(arena) covers exactly len(objects)
-	// rows; Add appends objects without growing it.
-	arena []float32
+	names []string
+	// store is the single packed corpus; nil until the first Add (or
+	// installed whole by the collection loaders).
+	store *vec.FlatStore
 }
 
 // NewCollection creates a collection whose objects have one vector per
@@ -101,10 +104,17 @@ func (c *Collection) Names() []string {
 }
 
 // Len returns the number of objects added.
-func (c *Collection) Len() int { return len(c.objects) }
+func (c *Collection) Len() int {
+	if c.store == nil {
+		return 0
+	}
+	return c.store.Len()
+}
 
 // Add validates, normalizes and stores an object, returning its ID
-// (position). IDs are dense and stable.
+// (position). IDs are dense and stable. The vectors are packed straight
+// into the collection's shared flat store — no per-object allocation and
+// no later re-copy into a search-time layout.
 func (c *Collection) Add(o Object) (int, error) {
 	if len(c.dims) == 0 {
 		return 0, fmt.Errorf("must: collection has no modalities configured")
@@ -112,7 +122,6 @@ func (c *Collection) Add(o Object) (int, error) {
 	if len(o) != len(c.dims) {
 		return 0, fmt.Errorf("must: object has %d modalities, collection expects %d", len(o), len(c.dims))
 	}
-	mv := make(vec.Multi, len(o))
 	for i, v := range o {
 		if len(v) != c.dims[i] {
 			return 0, fmt.Errorf("must: modality %d has dim %d, collection expects %d", i, len(v), c.dims[i])
@@ -120,10 +129,26 @@ func (c *Collection) Add(o Object) (int, error) {
 		if err := checkFinite(v); err != nil {
 			return 0, fmt.Errorf("must: modality %d: %w", i, err)
 		}
-		mv[i] = vec.Normalized(v)
 	}
-	c.objects = append(c.objects, mv)
-	return len(c.objects) - 1, nil
+	if c.store == nil {
+		// First Add: validate the layout before the store constructor (which
+		// treats bad dims as a caller bug and panics) — NewCollection does
+		// not validate, so a degenerate dimension surfaces here as an error.
+		for i, d := range c.dims {
+			if d <= 0 {
+				return 0, fmt.Errorf("must: modality %d has non-positive dim %d", i, d)
+			}
+		}
+		c.store = vec.NewFlatStore(c.dims, 0)
+	}
+	row := c.store.AppendRow()
+	offs := c.store.Offsets()
+	for i, v := range o {
+		seg := row[offs[i]:offs[i+1]]
+		copy(seg, v)
+		vec.Normalize(seg)
+	}
+	return c.store.Len() - 1, nil
 }
 
 // checkFinite rejects NaN/Inf coordinates, which would silently poison
@@ -139,15 +164,20 @@ func checkFinite(v []float32) error {
 
 // Object returns a copy of the stored object with the given ID.
 func (c *Collection) Object(id int) (Object, error) {
-	if id < 0 || id >= len(c.objects) {
-		return nil, fmt.Errorf("must: object id %d out of range [0,%d)", id, len(c.objects))
+	if id < 0 || id >= c.Len() {
+		return nil, fmt.Errorf("must: object id %d out of range [0,%d)", id, c.Len())
 	}
-	out := make(Object, len(c.objects[id]))
-	for i, v := range c.objects[id] {
+	mv := c.store.Multi(id)
+	out := make(Object, len(mv))
+	for i, v := range mv {
 		out[i] = vec.Clone(v)
 	}
 	return out, nil
 }
+
+// multi returns the stored object as zero-copy views into the shared
+// store's packed row.
+func (c *Collection) multi(id int) vec.Multi { return c.store.Multi(id) }
 
 // UniformWeights returns equal weights for every modality (ω_i² = 1/m),
 // the no-learning default.
@@ -155,19 +185,12 @@ func (c *Collection) UniformWeights() Weights {
 	return vec.Uniform(len(c.dims))
 }
 
-// flatStore returns a zero-copy flat store over the collection's v3
-// arena, or nil when no trustworthy arena exists (the collection was
-// built incrementally, loaded from an older format, or grew after load).
-func (c *Collection) flatStore() *vec.FlatStore {
-	total := 0
-	for _, d := range c.dims {
-		total += d
-	}
-	if c.arena == nil || total == 0 || len(c.arena) != len(c.objects)*total {
-		return nil
-	}
-	return vec.FlatStoreFromArena(c.dims, c.arena)
-}
+// flatStore returns the collection's shared corpus store (nil only while
+// the collection is empty and has never loaded). Every layer — build,
+// search, brute force, persistence — views this one store; incremental
+// Adds append to it without invalidating outstanding views, so there is
+// no untrusted-arena slow path anymore.
+func (c *Collection) flatStore() *vec.FlatStore { return c.store }
 
 // query converts and validates an external query against the collection
 // layout.
@@ -234,7 +257,7 @@ func LearnWeights(c *Collection, queries []Object, positives []int, cfg WeightCo
 		if !ok {
 			idx = len(pool)
 			poolIDs[p] = idx
-			pool = append(pool, c.objects[p])
+			pool = append(pool, c.multi(p))
 		}
 		remapped[i] = idx
 	}
@@ -329,29 +352,34 @@ func Build(c *Collection, w Weights, opts BuildOptions) (*Index, error) {
 		opts.Iterations = 3
 	}
 	wv := vec.Weights(w)
+	// Build consumes the collection's shared store directly: the weighted
+	// fused block is materialized only for the duration of construction
+	// and released before Build returns, so the built system holds the
+	// corpus exactly once.
+	st := c.flatStore()
 	var (
 		f   *index.Fused
 		err error
 	)
 	switch opts.Algorithm {
 	case AlgoOurs:
-		f, err = index.BuildFused(c.objects, wv, graph.Ours(opts.Gamma, opts.Iterations, opts.Seed))
+		f, err = index.BuildFusedStore(st, wv, graph.Ours(opts.Gamma, opts.Iterations, opts.Seed))
 	case AlgoKGraph:
-		f, err = index.BuildFused(c.objects, wv, graph.KGraphAssembly(opts.Gamma, opts.Iterations, opts.Seed))
+		f, err = index.BuildFusedStore(st, wv, graph.KGraphAssembly(opts.Gamma, opts.Iterations, opts.Seed))
 	case AlgoNSG:
-		f, err = index.BuildFused(c.objects, wv, graph.NSGAssembly(opts.Gamma, opts.Iterations, 2*opts.Gamma, opts.Seed))
+		f, err = index.BuildFusedStore(st, wv, graph.NSGAssembly(opts.Gamma, opts.Iterations, 2*opts.Gamma, opts.Seed))
 	case AlgoNSSG:
-		f, err = index.BuildFused(c.objects, wv, graph.NSSGAssembly(opts.Gamma, opts.Iterations, opts.Seed))
+		f, err = index.BuildFusedStore(st, wv, graph.NSSGAssembly(opts.Gamma, opts.Iterations, opts.Seed))
 	case AlgoHNSW:
-		f, err = index.BuildFusedGraph(c.objects, wv, "HNSW", func(s *graph.Space) *graph.Graph {
+		f, err = index.BuildFusedGraphStore(st, wv, "HNSW", func(s *graph.Space) *graph.Graph {
 			return graph.BuildHNSW(s, graph.HNSWConfig{M: opts.Gamma / 2, EfConstruction: 4 * opts.Gamma, Seed: opts.Seed})
 		})
 	case AlgoVamana:
-		f, err = index.BuildFusedGraph(c.objects, wv, "Vamana", func(s *graph.Space) *graph.Graph {
+		f, err = index.BuildFusedGraphStore(st, wv, "Vamana", func(s *graph.Space) *graph.Graph {
 			return graph.BuildVamana(s, graph.VamanaConfig{Gamma: opts.Gamma, Beam: 2 * opts.Gamma, Alpha: 1.2, Seed: opts.Seed})
 		})
 	case AlgoHCNNG:
-		f, err = index.BuildFusedGraph(c.objects, wv, "HCNNG", func(s *graph.Space) *graph.Graph {
+		f, err = index.BuildFusedGraphStore(st, wv, "HCNNG", func(s *graph.Space) *graph.Graph {
 			return graph.BuildHCNNG(s, graph.HCNNGConfig{Rounds: 3, LeafSize: 200, MaxDegree: opts.Gamma, Seed: opts.Seed})
 		})
 	default:
@@ -476,12 +504,9 @@ func (ix *Index) Insert(o Object) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	gid, err := ix.f.Insert(ix.c.objects[id], ix.opt.Gamma, 0)
-	if err != nil {
+	// The row is already in the shared store; the index just links it.
+	if err := ix.f.Insert(id, ix.opt.Gamma, 0); err != nil {
 		return 0, err
-	}
-	if gid != id {
-		return 0, fmt.Errorf("must: index/collection diverged: graph id %d, collection id %d", gid, id)
 	}
 	return id, nil
 }
@@ -499,7 +524,11 @@ func (ix *Index) Deleted() int {
 	return n
 }
 
-// Stats summarizes the built index.
+// Stats summarizes the built index, including the per-component memory
+// accounting of the single-store architecture: CorpusBytes is the one
+// resident copy of the vectors, FusedBytes is the transient weighted
+// build buffer (always 0 on a built index — it is released before Build
+// returns), and SizeBytes is the graph.
 type Stats struct {
 	// Objects is the indexed object count.
 	Objects int
@@ -509,6 +538,17 @@ type Stats struct {
 	AvgDegree float64
 	// SizeBytes is the graph memory footprint.
 	SizeBytes int64
+	// CorpusBytes is the memory committed to the shared vector store —
+	// the single copy of the corpus every layer views.
+	CorpusBytes int64
+	// RawVectorBytes is the payload lower bound: objects × concatenated
+	// dim × 4 bytes. CorpusBytes/RawVectorBytes ≈ 1 demonstrates the
+	// single-copy property (growable-arena slack keeps it ≤ ~1.2 even
+	// after incremental inserts).
+	RawVectorBytes int64
+	// FusedBytes is the transient weighted-concatenation buffer used
+	// during construction; 0 once the index is built.
+	FusedBytes int64
 	// BuildTime is the wall-clock construction time in nanoseconds.
 	BuildTime int64
 	// Algorithm names the construction pipeline.
@@ -517,13 +557,20 @@ type Stats struct {
 
 // Stats reports index statistics.
 func (ix *Index) Stats() Stats {
+	raw := int64(0)
+	if st := ix.f.Store; st != nil {
+		raw = int64(st.Len()) * int64(st.RowDim()) * 4
+	}
 	return Stats{
-		Objects:   ix.f.Graph.NumVertices(),
-		Edges:     ix.f.Graph.NumEdges(),
-		AvgDegree: ix.f.Graph.AvgDegree(),
-		SizeBytes: ix.f.SizeBytes(),
-		BuildTime: int64(ix.f.BuildTime),
-		Algorithm: ix.f.Pipeline,
+		Objects:        ix.f.Graph.NumVertices(),
+		Edges:          ix.f.Graph.NumEdges(),
+		AvgDegree:      ix.f.Graph.AvgDegree(),
+		SizeBytes:      ix.f.SizeBytes(),
+		CorpusBytes:    ix.f.CorpusBytes(),
+		RawVectorBytes: raw,
+		FusedBytes:     ix.f.FusedBytes(),
+		BuildTime:      int64(ix.f.BuildTime),
+		Algorithm:      ix.f.Pipeline,
 	}
 }
 
@@ -538,16 +585,12 @@ func (ix *Index) Save(path string) error { return ix.f.Save(path) }
 // subsequent Insert linking; set them explicitly with SetBuildOptions if
 // the index was built with different parameters.
 func LoadIndex(path string, c *Collection) (*Index, error) {
-	f, err := index.Load(path, c.objects)
+	// The index attaches the collection's shared store directly — loaded
+	// systems are single-copy from the first search, and subsequent
+	// Collection.Add/Index.Insert appends extend the same store.
+	f, err := index.Load(path, c.flatStore())
 	if err != nil {
 		return nil, err
-	}
-	if st := c.flatStore(); st != nil {
-		// v3-loaded collections come pre-packed; adopt the arena instead
-		// of re-copying the corpus into a fresh store.
-		if err := f.AdoptStore(st); err != nil {
-			return nil, err
-		}
 	}
 	opt := BuildOptions{Gamma: 30, Iterations: 3}
 	return &Index{c: c, f: f, opt: opt}, nil
@@ -575,7 +618,7 @@ func (c *Collection) ExactSearch(q Object, w Weights, k int) ([]Match, error) {
 	if len(w) != c.Modalities() {
 		return nil, fmt.Errorf("must: %d weights for %d modalities", len(w), c.Modalities())
 	}
-	bf := &index.BruteForce{Objects: c.objects, Weights: vec.Weights(w)}
+	bf := &index.BruteForce{Store: c.flatStore(), Weights: vec.Weights(w)}
 	res := bf.TopK(mv, k)
 	out := make([]Match, len(res))
 	for i, r := range res {

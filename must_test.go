@@ -50,6 +50,12 @@ func buildCorpus(t *testing.T, n, nq int, seed int64) (*Collection, []Object, []
 }
 
 func TestCollectionAddValidation(t *testing.T) {
+	// NewCollection does not validate dims; the first Add must reject a
+	// degenerate layout with an error, not a store-constructor panic.
+	bad := NewCollection(8, 0)
+	if _, err := bad.Add(Object{make([]float32, 8), nil}); err == nil {
+		t.Error("zero-dim modality did not error")
+	}
 	c := NewCollection(4, 2)
 	if _, err := c.Add(Object{{1, 0, 0, 0}}); err == nil {
 		t.Error("wrong modality count did not error")

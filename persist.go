@@ -14,19 +14,32 @@ import (
 
 // Collection binary format, little-endian.
 //
-// Version 3 (written by this package; flat vector block):
+// Version 4 (written by this package; arena dump):
+//
+//	magic "MUSTCL4\n"
+//	m uint32, dims: m × uint32
+//	names: m × (len uint32, bytes)   — len 0 for unnamed modalities
+//	numObjects uint64
+//	vectors: numObjects × rowDim × float32, one contiguous block
+//
+// The writer sources the float block straight from the collection's
+// shared arena-backed store — a handful of bulk writes over the arena's
+// contiguous runs instead of one encode loop per object — and the loader
+// reads it back into a single arena that becomes the collection's store
+// verbatim. A loaded system is therefore single-copy before the first
+// query: build, search, brute force, and future appends all view the
+// adopted arena. v4 also widens the count *field* to 64 bits so the wire
+// format can outgrow uint32 without another version bump; both the
+// writer and the loader currently enforce the same maxPersistObjects
+// sanity bound, so every file that saves also loads.
+//
+// Version 3 (still readable; flat vector block, uint32 count):
 //
 //	magic "MUSTCL3\n"
 //	m uint32, dims: m × uint32
-//	names: m × (len uint32, bytes)   — len 0 for unnamed modalities
+//	names: m × (len uint32, bytes)
 //	numObjects uint32
 //	vectors: numObjects × rowDim × float32, one contiguous block
-//
-// The float payload is byte-identical to v2's per-object layout; what v3
-// buys is the loader contract: the block is read in bulk into a single
-// flat arena and every object's modality slices are views into it, so a
-// loaded collection starts out in the packed layout the fused search
-// kernel wants, with one allocation instead of one per object.
 //
 // Version 2 (still readable; adds modality names over v1):
 //
@@ -43,13 +56,25 @@ import (
 //	numObjects uint32
 //	objects: numObjects × (per modality: dim × float32)
 //
+// Every read path — v1 through v4 — lands the vectors in one arena-backed
+// store, so legacy files also end up single-copy after load: v1/v2 rows
+// are decoded directly into consecutive store rows, and v3/v4 blocks are
+// adopted wholesale.
+//
 // Pairs with Index.Save/LoadIndex so a built system can be persisted and
 // restored in full: save the collection and the index, load both, search.
+
+// maxPersistObjects bounds the object count the persistence formats
+// accept, enforced symmetrically: the writer rejects collections above it
+// (nothing may be saved that cannot be loaded back) and the loader uses
+// it to reject corrupt headers before allocating.
+const maxPersistObjects = 1 << 28
 
 var (
 	clMagicV1 = [8]byte{'M', 'U', 'S', 'T', 'C', 'L', '1', '\n'}
 	clMagicV2 = [8]byte{'M', 'U', 'S', 'T', 'C', 'L', '2', '\n'}
 	clMagicV3 = [8]byte{'M', 'U', 'S', 'T', 'C', 'L', '3', '\n'}
+	clMagicV4 = [8]byte{'M', 'U', 'S', 'T', 'C', 'L', '4', '\n'}
 )
 
 func writeString(bw *bufio.Writer, s string) error {
@@ -75,7 +100,7 @@ func readString(br *bufio.Reader, maxLen uint32) (string, error) {
 	return string(buf), nil
 }
 
-// WriteCollection serializes c to w in the v3 format (flat vector block,
+// WriteCollection serializes c to w in the v4 format (arena dump,
 // modality names included when present).
 func WriteCollection(w io.Writer, c *Collection) error {
 	bw := bufio.NewWriterSize(w, 1<<20)
@@ -86,7 +111,10 @@ func WriteCollection(w io.Writer, c *Collection) error {
 }
 
 func writeCollectionBody(bw *bufio.Writer, c *Collection) error {
-	if _, err := bw.Write(clMagicV3[:]); err != nil {
+	if c.Len() > maxPersistObjects {
+		return fmt.Errorf("must: collection has %d objects, persistence caps at %d", c.Len(), maxPersistObjects)
+	}
+	if _, err := bw.Write(clMagicV4[:]); err != nil {
 		return err
 	}
 	if err := binary.Write(bw, binary.LittleEndian, uint32(len(c.dims))); err != nil {
@@ -109,57 +137,59 @@ func writeCollectionBody(bw *bufio.Writer, c *Collection) error {
 			return err
 		}
 	}
-	if err := binary.Write(bw, binary.LittleEndian, uint32(len(c.objects))); err != nil {
+	if err := binary.Write(bw, binary.LittleEndian, uint64(c.Len())); err != nil {
 		return err
 	}
-	// Flat float block, encoded in chunks rather than one binary.Write per
-	// float: collection save time is dominated by this loop.
+	if c.store == nil {
+		return nil
+	}
+	// The vector block is sourced straight from the store's arena: a few
+	// large contiguous runs (the bulk block plus any overflow chunks),
+	// each encoded through one bounded scratch buffer. No per-object
+	// dispatch — collection save time is dominated by this loop.
 	scratch := make([]byte, 0, 1<<16)
-	flush := func() error {
-		if len(scratch) == 0 {
-			return nil
-		}
-		_, err := bw.Write(scratch)
-		scratch = scratch[:0]
-		return err
-	}
-	for _, o := range c.objects {
-		for _, v := range o {
-			for _, x := range v {
+	return c.store.Runs(func(run []float32) error {
+		for len(run) > 0 {
+			chunk := run
+			if len(chunk) > (1<<16)/4 {
+				chunk = chunk[:(1<<16)/4]
+			}
+			run = run[len(chunk):]
+			scratch = scratch[:0]
+			for _, x := range chunk {
 				scratch = binary.LittleEndian.AppendUint32(scratch, math.Float32bits(x))
 			}
-			if len(scratch) >= 1<<16-4 {
-				if err := flush(); err != nil {
-					return err
-				}
+			if _, err := bw.Write(scratch); err != nil {
+				return err
 			}
 		}
-	}
-	return flush()
+		return nil
+	})
 }
 
-// readFloatBlock fills dst with little-endian float32s from br using a
-// bounded scratch buffer (no full-size intermediate byte slice).
-func readFloatBlock(br *bufio.Reader, dst []float32) error {
-	var chunk [1 << 16]byte
+// readFloatBlock fills dst with little-endian float32s from br through
+// the caller-provided scratch buffer (no full-size intermediate byte
+// slice; the scratch is allocated once per load, not per call — the
+// v1/v2 legacy path calls this once per object).
+func readFloatBlock(br *bufio.Reader, dst []float32, scratch []byte) error {
 	for len(dst) > 0 {
 		want := len(dst) * 4
-		if want > len(chunk) {
-			want = len(chunk)
+		if want > len(scratch) {
+			want = len(scratch)
 		}
-		if _, err := io.ReadFull(br, chunk[:want]); err != nil {
+		if _, err := io.ReadFull(br, scratch[:want]); err != nil {
 			return err
 		}
 		for i := 0; i < want; i += 4 {
-			dst[0] = math.Float32frombits(binary.LittleEndian.Uint32(chunk[i:]))
+			dst[0] = math.Float32frombits(binary.LittleEndian.Uint32(scratch[i:]))
 			dst = dst[1:]
 		}
 	}
 	return nil
 }
 
-// ReadCollection deserializes a collection from r, accepting both the v1
-// and v2 formats.
+// ReadCollection deserializes a collection from r, accepting every format
+// back to v1. All versions load into a single arena-backed store.
 func ReadCollection(r io.Reader) (*Collection, error) {
 	br := bufio.NewReaderSize(r, 1<<20)
 	return readCollectionBody(br)
@@ -178,6 +208,8 @@ func readCollectionBody(br *bufio.Reader) (*Collection, error) {
 		version = 2
 	case clMagicV3:
 		version = 3
+	case clMagicV4:
+		version = 4
 	default:
 		return nil, fmt.Errorf("must: bad collection magic %q", got[:])
 	}
@@ -219,25 +251,26 @@ func readCollectionBody(br *bufio.Reader) (*Collection, error) {
 			names = nil
 		}
 	}
-	var n uint32
-	if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
-		return nil, err
+	var n uint64
+	if version >= 4 {
+		if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
+			return nil, err
+		}
+	} else {
+		var n32 uint32
+		if err := binary.Read(br, binary.LittleEndian, &n32); err != nil {
+			return nil, err
+		}
+		n = uint64(n32)
 	}
-	if n > 1<<28 {
+	if n > maxPersistObjects {
 		return nil, fmt.Errorf("must: unreasonable object count %d", n)
 	}
 	c := NewCollection(dims...)
 	c.names = names
-	// n is untrusted until the vector data actually arrives: cap the
-	// upfront slice allocation and let append grow it for real files.
-	objCap := int(n)
-	if objCap > 1<<20 {
-		objCap = 1 << 20
-	}
-	c.objects = make([]vec.Multi, 0, objCap)
 	if version >= 3 {
-		// v3: the whole vector block lands in one flat arena; every
-		// object's modality slices are views into it. The arena grows as
+		// v3/v4: the whole vector block lands in one flat arena that
+		// becomes the collection's store verbatim. The arena grows as
 		// data actually arrives (capped initial allocation) so a corrupt
 		// header claiming billions of floats fails with a read error
 		// instead of attempting one enormous upfront allocation.
@@ -248,6 +281,7 @@ func readCollectionBody(br *bufio.Reader) (*Collection, error) {
 			capHint = maxUpfront
 		}
 		arena := make([]float32, 0, capHint)
+		scratch := make([]byte, 1<<16)
 		for len(arena) < totalFloats {
 			chunk := totalFloats - len(arena)
 			if chunk > 1<<20 {
@@ -264,35 +298,28 @@ func readCollectionBody(br *bufio.Reader) (*Collection, error) {
 			}
 			start := len(arena)
 			arena = arena[:start+chunk]
-			if err := readFloatBlock(br, arena[start:]); err != nil {
+			if err := readFloatBlock(br, arena[start:], scratch); err != nil {
 				return nil, fmt.Errorf("must: reading flat vector block: %w", err)
 			}
 		}
-		for i := 0; i < int(n); i++ {
-			row := arena[i*total : (i+1)*total]
-			mv := make(vec.Multi, m)
-			off := 0
-			for j, d := range dims {
-				mv[j] = row[off : off+d : off+d]
-				off += d
-			}
-			c.objects = append(c.objects, mv)
-		}
-		c.arena = arena
+		c.store = vec.FlatStoreFromArena(dims, arena)
 		return c, nil
 	}
-	for i := uint32(0); i < n; i++ {
-		flat := make([]float32, total)
-		if err := binary.Read(br, binary.LittleEndian, flat); err != nil {
+	// v1/v2: per-object layout. Decode each object's floats directly into
+	// the next store row, so legacy files also land in one arena. The
+	// store's upfront commitment is capped the same way (overflow rows go
+	// to the store's growable chunks), keeping corrupt headers cheap.
+	bulkRows := int(n)
+	const maxUpfront = 1 << 22
+	if total > 0 && bulkRows > maxUpfront/total {
+		bulkRows = maxUpfront / total
+	}
+	c.store = vec.NewFlatStore(dims, bulkRows)
+	scratch := make([]byte, 1<<16)
+	for i := uint64(0); i < n; i++ {
+		if err := readFloatBlock(br, c.store.AppendRow(), scratch); err != nil {
 			return nil, fmt.Errorf("must: reading object %d: %w", i, err)
 		}
-		mv := make(vec.Multi, m)
-		off := 0
-		for j, d := range dims {
-			mv[j] = flat[off : off+d : off+d]
-			off += d
-		}
-		c.objects = append(c.objects, mv)
 	}
 	return c, nil
 }
@@ -306,7 +333,7 @@ func readCollectionBody(br *bufio.Reader) (*Collection, error) {
 //	nextID uint64
 //	ids: n uint32, n × uint64
 //	tombstones: n × uint8
-//	collection body (v3 format, see above; v1/v2 bodies load too)
+//	collection body (v4 format, see above; v1-v3 bodies load too)
 //	built uint8; if 1: index body (internal/index format)
 var egMagic = [8]byte{'M', 'U', 'S', 'T', 'E', 'G', '1', '\n'}
 
@@ -317,6 +344,9 @@ var egMagic = [8]byte{'M', 'U', 'S', 'T', 'E', 'G', '1', '\n'}
 func (e *Engine) SaveTo(w io.Writer) error {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
+	if e.c.Len() > maxPersistObjects {
+		return fmt.Errorf("must: engine has %d objects, persistence caps at %d", e.c.Len(), maxPersistObjects)
+	}
 	bw := bufio.NewWriterSize(w, 1<<20)
 	if _, err := bw.Write(egMagic[:]); err != nil {
 		return err
@@ -510,7 +540,7 @@ func ReadEngine(r io.Reader) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	e.c.objects = c.objects
+	e.c.store = c.store
 	e.nextID = int64(nextID)
 	e.ids = ids
 	for slot, id := range ids {
@@ -521,16 +551,12 @@ func ReadEngine(r io.Reader) (*Engine, error) {
 		return nil, err
 	}
 	if built != 0 {
-		f, err := index.ReadFused(br, e.c.objects)
+		// The loaded collection's arena-backed store is the corpus, full
+		// stop: the index attaches it directly and every searcher scores
+		// against it.
+		f, err := index.ReadFused(br, e.c.flatStore())
 		if err != nil {
 			return nil, err
-		}
-		if st := e.c.flatStore(); st != nil {
-			// The v3 arena is already in packed layout; adopt it as the
-			// search store instead of re-copying the corpus.
-			if err := f.AdoptStore(st); err != nil {
-				return nil, err
-			}
 		}
 		ix := &Index{c: e.c, f: f}
 		ix.SetBuildOptions(bo)

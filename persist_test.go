@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/binary"
 	"path/filepath"
+	"runtime"
 	"testing"
 )
 
@@ -76,17 +77,17 @@ func TestFullPersistenceRoundTrip(t *testing.T) {
 	}
 }
 
-// WriteCollection must emit the v3 magic, and the v3 loader must place
-// every object's vectors in one shared flat arena (adjacent objects'
-// modality slices are contiguous in memory).
-func TestCollectionWritesV3FlatFormat(t *testing.T) {
+// WriteCollection must emit the v4 magic, and the v4 loader must adopt
+// the vector block as one arena that the collection's shared store views
+// directly (no per-object re-copy).
+func TestCollectionWritesV4ArenaFormat(t *testing.T) {
 	c, _, _ := buildCorpus(t, 20, 3, 90)
 	var buf bytes.Buffer
 	if err := WriteCollection(&buf, c); err != nil {
 		t.Fatal(err)
 	}
-	if got := string(buf.Bytes()[:8]); got != "MUSTCL3\n" {
-		t.Fatalf("magic = %q, want MUSTCL3", got)
+	if got := string(buf.Bytes()[:8]); got != "MUSTCL4\n" {
+		t.Fatalf("magic = %q, want MUSTCL4", got)
 	}
 	got, err := ReadCollection(&buf)
 	if err != nil {
@@ -96,81 +97,100 @@ func TestCollectionWritesV3FlatFormat(t *testing.T) {
 	for _, d := range got.Dims() {
 		total += d
 	}
-	if got.arena == nil || len(got.arena) != got.Len()*total {
-		t.Fatalf("v3 load did not produce a full arena: %d floats for %d objects of %d",
-			len(got.arena), got.Len(), total)
-	}
-	// Every object's modality slices must be views into the arena at the
-	// packed offsets, and the zero-copy store must expose the same rows.
-	for id := 0; id < got.Len(); id++ {
-		off := id * total
-		for m := range got.objects[id] {
-			v := got.objects[id][m]
-			if &v[0] != &got.arena[off] {
-				t.Fatalf("object %d modality %d does not view the arena", id, m)
-			}
-			off += len(v)
-		}
-	}
 	st := got.flatStore()
 	if st == nil {
-		t.Fatal("flatStore returned nil for an arena-backed collection")
+		t.Fatal("v4 load did not install a store")
 	}
-	if &st.Row(3)[0] != &got.arena[3*total] {
-		t.Fatal("flat store does not alias the arena")
+	// The whole corpus must live in one contiguous arena run, and the
+	// store's row/modality views must alias it rather than copy.
+	var runs [][]float32
+	if err := st.Runs(func(run []float32) error { runs = append(runs, run); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 1 || len(runs[0]) != got.Len()*total {
+		t.Fatalf("v4 load produced %d arena runs, want 1 full run", len(runs))
+	}
+	arena := runs[0]
+	if &st.Row(3)[0] != &arena[3*total] {
+		t.Fatal("store rows do not alias the adopted arena")
+	}
+	off := 3 * total
+	for m := 0; m < got.Modalities(); m++ {
+		v := st.Modality(3, m)
+		if &v[0] != &arena[off] {
+			t.Fatalf("modality %d view does not alias the arena", m)
+		}
+		off += len(v)
 	}
 }
 
-// A v2-format stream (the previous on-disk format) must still load and
-// round-trip object-for-object.
-func TestReadCollectionAcceptsLegacyV2(t *testing.T) {
+// legacyStream re-encodes a written v4 stream in an older format:
+// version 3 keeps the layout but narrows the object count to uint32;
+// versions 2 and 1 share v3's byte layout (v1 additionally drops the
+// names section).
+func legacyStream(t *testing.T, raw []byte, version int) []byte {
+	t.Helper()
+	if string(raw[:8]) != "MUSTCL4\n" {
+		t.Fatalf("unexpected magic %q", raw[:8])
+	}
+	m := int(binary.LittleEndian.Uint32(raw[8:]))
+	// Walk the names section: m × (len uint32, bytes).
+	off := 12 + 4*m
+	namesStart := off
+	for i := 0; i < m; i++ {
+		off += 4 + int(binary.LittleEndian.Uint32(raw[off:]))
+	}
+	namesEnd := off
+	n := binary.LittleEndian.Uint64(raw[off:])
+	block := raw[off+8:]
+
+	var out bytes.Buffer
+	out.WriteString("MUSTCL")
+	out.WriteByte(byte('0' + version))
+	out.WriteByte('\n')
+	out.Write(raw[8 : 12+4*m])
+	if version >= 2 {
+		out.Write(raw[namesStart:namesEnd])
+	}
+	if err := binary.Write(&out, binary.LittleEndian, uint32(n)); err != nil {
+		t.Fatal(err)
+	}
+	out.Write(block)
+	return out.Bytes()
+}
+
+// Streams in the three legacy formats must still load, and every one of
+// them must land in an arena-backed store (single-copy even for old
+// files).
+func TestReadCollectionAcceptsLegacyFormats(t *testing.T) {
 	c, _, _ := buildCorpus(t, 30, 3, 89)
 	var buf bytes.Buffer
 	if err := WriteCollection(&buf, c); err != nil {
 		t.Fatal(err)
 	}
-	// v3 and v2 are byte-identical after the magic, so rewriting the
-	// version byte yields a valid v2 stream.
 	raw := buf.Bytes()
-	if raw[6] != '3' {
-		t.Fatalf("unexpected magic %q", raw[:8])
-	}
-	raw[6] = '2'
-	got, err := ReadCollection(bytes.NewReader(raw))
-	if err != nil {
-		t.Fatalf("v2 stream rejected: %v", err)
-	}
-	if got.Len() != c.Len() {
-		t.Fatalf("v2 load: %d objects, want %d", got.Len(), c.Len())
-	}
-	for id := 0; id < c.Len(); id++ {
-		a, _ := c.Object(id)
-		b, _ := got.Object(id)
-		for i := range a {
-			for j := range a[i] {
-				if a[i][j] != b[i][j] {
-					t.Fatalf("object %d differs between v2 and v3 loads", id)
+	for _, version := range []int{3, 2, 1} {
+		got, err := ReadCollection(bytes.NewReader(legacyStream(t, raw, version)))
+		if err != nil {
+			t.Fatalf("v%d stream rejected: %v", version, err)
+		}
+		if got.Len() != c.Len() {
+			t.Fatalf("v%d load: %d objects, want %d", version, got.Len(), c.Len())
+		}
+		if got.flatStore() == nil {
+			t.Fatalf("v%d load did not land in a shared store", version)
+		}
+		for id := 0; id < c.Len(); id++ {
+			a, _ := c.Object(id)
+			b, _ := got.Object(id)
+			for i := range a {
+				for j := range a[i] {
+					if a[i][j] != b[i][j] {
+						t.Fatalf("object %d differs between v%d and v4 loads", id, version)
+					}
 				}
 			}
 		}
-	}
-	// Same for v1, which simply omits the names section.
-	var v1 bytes.Buffer
-	v1.Write([]byte("MUSTCL1\n"))
-	body := raw[8:]
-	// m uint32 + dims.
-	m := int(body[0]) // little-endian, m < 256 here
-	v1.Write(body[:4+4*m])
-	rest := body[4+4*m:]
-	// Skip the names section: m × (len uint32 == 0).
-	rest = rest[4*m:]
-	v1.Write(rest)
-	gotV1, err := ReadCollection(bytes.NewReader(v1.Bytes()))
-	if err != nil {
-		t.Fatalf("v1 stream rejected: %v", err)
-	}
-	if gotV1.Len() != c.Len() {
-		t.Fatalf("v1 load: %d objects, want %d", gotV1.Len(), c.Len())
 	}
 }
 
@@ -186,6 +206,39 @@ func TestReadCollectionRejectsHugeClaimedBlock(t *testing.T) {
 	}
 	if _, err := ReadCollection(bytes.NewReader(buf.Bytes())); err == nil {
 		t.Error("huge claimed block with no data did not error")
+	}
+}
+
+// The same must hold for v4, whose 64-bit count admits even wilder
+// claims: load must never commit memory proportional to the claimed
+// header, only to the data that actually arrives.
+func TestReadCollectionV4NeverOverAllocates(t *testing.T) {
+	mkHeader := func(n uint64) []byte {
+		var buf bytes.Buffer
+		buf.WriteString("MUSTCL4\n")
+		for _, v := range []uint32{2, 1 << 16, 1 << 16, 0, 0} {
+			if err := binary.Write(&buf, binary.LittleEndian, v); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := binary.Write(&buf, binary.LittleEndian, n); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	for _, n := range []uint64{1 << 27, 1 << 28, 1 << 40, 1 << 62} {
+		if _, err := ReadCollection(bytes.NewReader(mkHeader(n))); err == nil {
+			t.Errorf("claimed count %d with no data did not error", n)
+		}
+	}
+	runtime.ReadMemStats(&after)
+	// Each failed load may commit at most the capped upfront arena
+	// (16 MiB); far below the petabytes the headers claim.
+	if grew := after.TotalAlloc - before.TotalAlloc; grew > 256<<20 {
+		t.Errorf("corrupt headers allocated %d bytes total, want bounded by the upfront cap", grew)
 	}
 }
 
