@@ -499,10 +499,13 @@ func (e *Engine) Search(ctx context.Context, q Query) (*Response, error) {
 		Breakdown:  true,
 		Ctx:        ctx,
 	})
-	pool.Put(s)
 	if err != nil {
+		pool.Put(s)
 		return nil, err
 	}
+	// res aliases the searcher's reusable result buffer, so it must be
+	// converted to ScoredMatches before the searcher goes back in the pool
+	// (another goroutine's search would overwrite it).
 	matches := make([]ScoredMatch, len(res))
 	for i, r := range res {
 		by := make(map[string]float32, len(e.schema))
@@ -513,6 +516,7 @@ func (e *Engine) Search(ctx context.Context, q Query) (*Response, error) {
 		}
 		matches[i] = ScoredMatch{ID: e.ids[r.ID], Similarity: r.IP, ByModality: by}
 	}
+	pool.Put(s)
 	return &Response{
 		Matches: matches,
 		Stats:   SearchStats{FullEvals: st.FullEvals, PartialSkips: st.PartialSkips, Hops: st.Hops},

@@ -393,7 +393,7 @@ func RunNeighborAudit(opt Options) ([]NeighborAuditRow, error) {
 			stride = 1
 		}
 		for v := 0; v < len(enc.Objects); v += stride {
-			for _, u := range g.Adj[v] {
+			for _, u := range g.Neighbors(int32(v)) {
 				a, b := enc.Objects[v], enc.Objects[u]
 				ip0 += float64(vec.Dot(a[0], b[0]))
 				ip1 += float64(vec.Dot(a[1], b[1]))
@@ -446,7 +446,7 @@ func RunGraphQuality(iters []int, opt Options) ([]GraphQualityRow, error) {
 		row := GraphQualityRow{Dataset: name, Quality: map[int]float64{}}
 		for _, e := range iters {
 			adj := graph.NNDescent{Iters: e, Seed: opt.Seed}.Init(space, opt.Gamma)
-			g := &graph.Graph{Adj: adj}
+			g := graph.NewCSR(adj, 0)
 			row.Quality[e] = graph.Quality(g, space, opt.Gamma, 100)
 		}
 		rows = append(rows, row)

@@ -2,18 +2,38 @@ package graph
 
 import "sort"
 
+// neighborsFunc resolves a vertex's out-neighbor list. Build-time code
+// passes a view over its working [][]int32 adjacency; post-seal code
+// (incremental inserts) passes Graph.Neighbors.
+type neighborsFunc func(v int32) []int32
+
+// sliceNeighbors adapts a builder's working adjacency to neighborsFunc.
+func sliceNeighbors(adj [][]int32) neighborsFunc {
+	return func(v int32) []int32 { return adj[v] }
+}
+
 // beamSearchVertex runs a greedy beam search over adj from start toward
 // the stored vertex target, returning the visited vertices in visit order.
 // It is the build-time routing primitive used by NSG-style candidate
 // acquisition and Vamana's construction passes. beam is the working-set
 // size (NSG's L / Vamana's L).
 func beamSearchVertex(s *Space, adj [][]int32, start, target int32, beam int) []int32 {
-	return beamSearchVector(s, adj, start, s.Vector(target), beam)
+	return beamSearch(s, sliceNeighbors(adj), start, s.Vector(target), beam)
 }
 
 // beamSearchVector is beamSearchVertex for an arbitrary query vector of
 // the space's dimension.
 func beamSearchVector(s *Space, adj [][]int32, start int32, query []float32, beam int) []int32 {
+	return beamSearch(s, sliceNeighbors(adj), start, query, beam)
+}
+
+// beamSearchGraph routes over a sealed Graph (CSR core plus overlay) —
+// the §IX incremental-insert path.
+func beamSearchGraph(s *Space, g *Graph, start int32, query []float32, beam int) []int32 {
+	return beamSearch(s, g.Neighbors, start, query, beam)
+}
+
+func beamSearch(s *Space, neighbors neighborsFunc, start int32, query []float32, beam int) []int32 {
 	if beam < 1 {
 		beam = 1
 	}
@@ -57,7 +77,7 @@ func beamSearchVector(s *Space, adj [][]int32, start int32, query []float32, bea
 		pool[idx].visited = true
 		v := pool[idx].id
 		visitOrder = append(visitOrder, v)
-		for _, u := range adj[v] {
+		for _, u := range neighbors(v) {
 			if _, ok := seen[u]; ok {
 				continue
 			}

@@ -29,7 +29,7 @@ func TestBeamSearchVectorFindsNearest(t *testing.T) {
 				best = int32(v)
 			}
 		}
-		visited := beamSearchVector(s, g.Adj, g.Seed, q, 40)
+		visited := beamSearchGraph(s, g, g.Seed, q, 40)
 		for _, u := range visited {
 			if u == best {
 				hits++
@@ -48,7 +48,7 @@ func TestBeamSearchVisitOrderStartsAtSeed(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	visited := beamSearchVertex(s, g.Adj, g.Seed, 3, 10)
+	visited := beamSearchGraph(s, g, g.Seed, s.Vector(3), 10)
 	if len(visited) == 0 || visited[0] != g.Seed {
 		t.Errorf("visit order must start at the seed, got %v", visited)
 	}
@@ -69,7 +69,7 @@ func TestBeamSearchDegenerateBeam(t *testing.T) {
 		t.Fatal(err)
 	}
 	// beam < 1 is clamped to 1: pure greedy descent, still terminates.
-	visited := beamSearchVertex(s, g.Adj, g.Seed, 7, 0)
+	visited := beamSearchGraph(s, g, g.Seed, s.Vector(7), 0)
 	if len(visited) == 0 {
 		t.Fatal("greedy descent visited nothing")
 	}
@@ -81,8 +81,8 @@ func TestBeamSearchWiderBeamVisitsMore(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	narrow := beamSearchVertex(s, g.Adj, g.Seed, 5, 4)
-	wide := beamSearchVertex(s, g.Adj, g.Seed, 5, 64)
+	narrow := beamSearchGraph(s, g, g.Seed, s.Vector(5), 4)
+	wide := beamSearchGraph(s, g, g.Seed, s.Vector(5), 64)
 	if len(wide) <= len(narrow) {
 		t.Errorf("wider beam visited %d vertices, narrow visited %d", len(wide), len(narrow))
 	}

@@ -135,7 +135,7 @@ func TestNNDescentQualityImprovesWithIterations(t *testing.T) {
 	const gamma = 10
 	qual := func(iters int) float64 {
 		adj := NNDescent{Iters: iters, Seed: 1}.Init(s, gamma)
-		g := &Graph{Adj: adj}
+		g := NewCSR(adj, 0)
 		return Quality(g, s, gamma, 80)
 	}
 	q1, q3 := qual(1), qual(3)
@@ -217,12 +217,12 @@ func TestBFSRepairConnects(t *testing.T) {
 	for v := 30; v < 60; v++ {
 		adj[v] = []int32{int32(30 + (v-30+1)%30)}
 	}
-	g := &Graph{Adj: adj, Seed: 0}
-	if g.Reachable() == 60 {
+	if g := NewCSR(adj, 0); g.Reachable() == 60 {
 		t.Fatal("test setup: graph should be disconnected")
 	}
-	BFSRepair{}.Ensure(s, g.Adj, g.Seed)
-	if got := g.Reachable(); got != 60 {
+	// Repair operates on the pre-seal working adjacency, as in Build.
+	BFSRepair{}.Ensure(s, adj, 0)
+	if got := NewCSR(adj, 0).Reachable(); got != 60 {
 		t.Errorf("after repair reachable = %d, want 60", got)
 	}
 }
@@ -285,7 +285,7 @@ func TestAssembliesBuildAndAreSearchable(t *testing.T) {
 		}
 		// The beam search over the built graph should find a vertex's own
 		// position: route toward vertex 7 and expect to visit it.
-		visited := beamSearchVertex(s, g.Adj, g.Seed, 7, 20)
+		visited := beamSearchGraph(s, g, g.Seed, s.Vector(7), 20)
 		found := false
 		for _, u := range visited {
 			if u == 7 {
@@ -342,7 +342,7 @@ func TestBuildHCNNG(t *testing.T) {
 }
 
 func TestGraphStats(t *testing.T) {
-	g := &Graph{Adj: [][]int32{{1, 2}, {0}, {}}, Seed: 0}
+	g := NewCSR([][]int32{{1, 2}, {0}, {}}, 0)
 	if g.NumEdges() != 3 {
 		t.Errorf("edges = %d", g.NumEdges())
 	}
@@ -370,7 +370,7 @@ func TestQualityPerfectGraph(t *testing.T) {
 			adj[v] = append(adj[v], u)
 		}
 	}
-	g := &Graph{Adj: adj}
+	g := NewCSR(adj, 0)
 	if q := Quality(g, s, gamma, 0); q < 0.999 {
 		t.Errorf("perfect graph quality = %v, want 1", q)
 	}
@@ -389,15 +389,8 @@ func TestBuildDeterminism(t *testing.T) {
 	if a.Seed != b.Seed {
 		t.Fatal("seeds differ between identical builds")
 	}
-	for v := range a.Adj {
-		if len(a.Adj[v]) != len(b.Adj[v]) {
-			t.Fatalf("vertex %d degree differs", v)
-		}
-		for i := range a.Adj[v] {
-			if a.Adj[v][i] != b.Adj[v][i] {
-				t.Fatalf("vertex %d adjacency differs", v)
-			}
-		}
+	if !graphsEqual(a, b) {
+		t.Fatal("identical builds produced different adjacency")
 	}
 }
 
@@ -499,11 +492,11 @@ func TestInsertOnReleasedSpace(t *testing.T) {
 		nv := vec.Multi{vec.RandUnit(rng, 12), vec.RandUnit(rng, 6)}
 		id := int32(st.AppendMulti(nv))
 		Insert(s, g, id, 10, 40)
-		if len(g.Adj[id]) == 0 {
+		if g.Degree(id) == 0 {
 			t.Fatalf("inserted vertex %d has no out-edges", id)
 		}
 		found := false
-		for _, u := range beamSearchVector(s, g.Adj, g.Seed, s.Vector(id), 40) {
+		for _, u := range beamSearchGraph(s, g, g.Seed, s.Vector(id), 40) {
 			if u == id {
 				found = true
 				break

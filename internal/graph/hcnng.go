@@ -145,7 +145,7 @@ func BuildHCNNG(s *Space, cfg HCNNGConfig) *Graph {
 		}
 		adj[v] = lst
 	}
-	g := &Graph{Adj: adj, Seed: s.Medoid()}
-	BFSRepair{}.Ensure(s, g.Adj, g.Seed)
-	return g
+	seed := s.Medoid()
+	BFSRepair{}.Ensure(s, adj, seed)
+	return NewCSR(adj, seed)
 }

@@ -203,5 +203,5 @@ func BuildHNSW(s *Space, cfg HNSWConfig) *Graph {
 	for v := 0; v < n; v++ {
 		adj[v] = layers[0][int32(v)]
 	}
-	return &Graph{Adj: adj, Seed: enter}
+	return NewCSR(adj, enter)
 }

@@ -5,6 +5,11 @@ package graph
 // index, updating them accordingly" — the HNSW/Vamana-style dynamic
 // update. The new vertex beam-searches for its neighborhood, links via
 // MRNG selection, and adds degree-capped reverse edges.
+//
+// The graph's frozen CSR core is never edited in place: the new vertex's
+// list and every reverse-edge edit land in the append-overlay
+// (Graph.SetNeighbors), and the index layer compacts the overlay back
+// into CSR once it grows past a small fraction of the graph.
 
 // Append copies a vector into a raw space's buffer and returns its new
 // index. The vector must have the space's dimension and the same
@@ -36,12 +41,10 @@ func Insert(s *Space, g *Graph, id int32, gamma, beam int) int32 {
 	if beam < gamma {
 		beam = gamma
 	}
-	// Grow the adjacency table up to the space size (supports callers
-	// that appended several vectors before linking).
-	for len(g.Adj) < s.Len() {
-		g.Adj = append(g.Adj, nil)
-	}
-	visited := beamSearchVector(s, g.Adj, g.Seed, s.Vector(id), beam)
+	// Grow the vertex set up to the space size (supports callers that
+	// appended several vectors before linking).
+	g.EnsureVertices(s.Len())
+	visited := beamSearchGraph(s, g, g.Seed, s.Vector(id), beam)
 	cands := make([]int32, 0, len(visited))
 	for _, u := range visited {
 		if u != id {
@@ -49,9 +52,9 @@ func Insert(s *Space, g *Graph, id int32, gamma, beam int) int32 {
 		}
 	}
 	neighbors := MRNG{}.Select(s, id, cands, gamma)
-	g.Adj[id] = neighbors
+	g.SetNeighbors(id, neighbors)
 	for _, u := range neighbors {
-		lst := g.Adj[u]
+		lst := g.Neighbors(u)
 		present := false
 		for _, w := range lst {
 			if w == id {
@@ -62,11 +65,15 @@ func Insert(s *Space, g *Graph, id int32, gamma, beam int) int32 {
 		if present {
 			continue
 		}
-		lst = append(lst, id)
-		if len(lst) > gamma {
-			lst = MRNG{}.Select(s, u, lst, gamma)
+		// Copy-on-write: lst may be a view into the frozen CSR edge array,
+		// so the reverse edge is added on a fresh overlay list.
+		grown := make([]int32, 0, len(lst)+1)
+		grown = append(grown, lst...)
+		grown = append(grown, id)
+		if len(grown) > gamma {
+			grown = MRNG{}.Select(s, u, grown, gamma)
 		}
-		g.Adj[u] = lst
+		g.SetNeighbors(u, grown)
 	}
 	return id
 }

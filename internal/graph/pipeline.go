@@ -79,7 +79,9 @@ func (p Pipeline) Build(s *Space) (*Graph, error) {
 	// ⑤ Connectivity.
 	p.Connect.Ensure(s, final, seed)
 
-	return &Graph{Adj: final, Seed: seed}, nil
+	// Seal the working adjacency into the canonical CSR form; the
+	// per-vertex lists are garbage from here on.
+	return NewCSR(final, seed), nil
 }
 
 // ComponentSummary renders the assembly, e.g.

@@ -23,15 +23,15 @@ type Stats struct {
 
 // ComputeStats analyzes g.
 func ComputeStats(g *Graph) Stats {
-	n := len(g.Adj)
+	n := g.NumVertices()
 	st := Stats{Vertices: n}
 	if n == 0 {
 		return st
 	}
 	degrees := make([]int, n)
-	st.MinDegree = len(g.Adj[0])
-	for v, nbrs := range g.Adj {
-		d := len(nbrs)
+	st.MinDegree = g.Degree(0)
+	for v := 0; v < n; v++ {
+		d := g.Degree(int32(v))
 		degrees[v] = d
 		st.Edges += d
 		if d < st.MinDegree {
@@ -53,14 +53,14 @@ func ComputeStats(g *Graph) Stats {
 	}
 	st.P99Degree = degrees[p99]
 	st.ReachableFromSeed = g.Reachable()
-	st.Components = weakComponents(g.Adj)
+	st.Components = weakComponents(g)
 	return st
 }
 
 // weakComponents counts weakly connected components via union-find over
-// the undirected view of the adjacency.
-func weakComponents(adj [][]int32) int {
-	n := len(adj)
+// the undirected view of the graph.
+func weakComponents(g *Graph) int {
+	n := g.NumVertices()
 	parent := make([]int32, n)
 	for i := range parent {
 		parent[i] = int32(i)
@@ -79,8 +79,8 @@ func weakComponents(adj [][]int32) int {
 			parent[ra] = rb
 		}
 	}
-	for v, nbrs := range adj {
-		for _, u := range nbrs {
+	for v := 0; v < n; v++ {
+		for _, u := range g.Neighbors(int32(v)) {
 			union(int32(v), u)
 		}
 	}
@@ -98,8 +98,8 @@ func DegreeHistogram(g *Graph, bucket int) map[int]int {
 		bucket = 5
 	}
 	out := map[int]int{}
-	for _, nbrs := range g.Adj {
-		out[(len(nbrs)/bucket)*bucket]++
+	for v := 0; v < g.NumVertices(); v++ {
+		out[(g.Degree(int32(v))/bucket)*bucket]++
 	}
 	return out
 }

@@ -3,13 +3,13 @@ package graph
 import "testing"
 
 func TestComputeStatsHandBuilt(t *testing.T) {
-	g := &Graph{Adj: [][]int32{
+	g := NewCSR([][]int32{
 		{1, 2}, // 0
 		{0},    // 1
 		{},     // 2 (isolated out-degree, but reachable)
 		{4},    // 3 (second component)
 		{3},    // 4
-	}, Seed: 0}
+	}, 0)
 	st := ComputeStats(g)
 	if st.Vertices != 5 || st.Edges != 5 {
 		t.Errorf("vertices/edges = %d/%d", st.Vertices, st.Edges)
@@ -57,7 +57,7 @@ func TestComputeStatsOnBuiltGraph(t *testing.T) {
 }
 
 func TestDegreeHistogram(t *testing.T) {
-	g := &Graph{Adj: [][]int32{{1, 2, 3}, {0}, {0, 1}, {}}}
+	g := NewCSR([][]int32{{1, 2, 3}, {0}, {0, 1}, {}}, 0)
 	h := DegreeHistogram(g, 2)
 	// degrees: 3,1,2,0 → buckets (width 2): 2,0,2,0 → {0:2, 2:2}
 	if h[0] != 2 || h[2] != 2 {

@@ -106,5 +106,5 @@ func BuildVamana(s *Space, cfg VamanaConfig) *Graph {
 	pass(1)
 	pass(alpha)
 
-	return &Graph{Adj: adj, Seed: medoid}
+	return NewCSR(adj, medoid)
 }

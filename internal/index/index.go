@@ -165,6 +165,12 @@ func (f *Fused) Insert(id, gamma, beam int) error {
 		f.space = graph.StoreView(f.Store, f.Weights)
 	}
 	graph.Insert(f.space, f.Graph, int32(id), gamma, beam)
+	// Fold the append-overlay back into the frozen CSR core once it
+	// covers more than a quarter of the graph: inserts stay O(1)
+	// amortized, and steady state always returns to the flat form.
+	if ov := f.Graph.OverlayVertices(); ov*4 > f.Graph.NumVertices() {
+		f.Graph.Compact()
+	}
 	return nil
 }
 

@@ -221,12 +221,14 @@ func TestIndexSerializationRoundTrip(t *testing.T) {
 	if len(got.Weights) != len(f.Weights) || got.Weights[0] != f.Weights[0] {
 		t.Fatal("weights mismatch")
 	}
-	for v := range f.Graph.Adj {
-		if len(got.Graph.Adj[v]) != len(f.Graph.Adj[v]) {
+	for v := 0; v < f.Graph.NumVertices(); v++ {
+		want := f.Graph.Neighbors(int32(v))
+		have := got.Graph.Neighbors(int32(v))
+		if len(have) != len(want) {
 			t.Fatalf("vertex %d degree mismatch", v)
 		}
-		for i := range f.Graph.Adj[v] {
-			if got.Graph.Adj[v][i] != f.Graph.Adj[v][i] {
+		for i := range want {
+			if have[i] != want[i] {
 				t.Fatalf("vertex %d adjacency mismatch", v)
 			}
 		}

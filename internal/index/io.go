@@ -12,23 +12,109 @@ import (
 	"must/internal/vec"
 )
 
-// Binary index format, little-endian:
+// Binary index format, little-endian.
 //
-//	magic "MUSTIX1\n"
+// Current (MUSTIX2) — the graph topology as two bulk CSR blocks:
+//
+//	magic "MUSTIX2\n"
 //	pipelineLen uint32, pipeline bytes
 //	numWeights uint32, weights float32...
 //	numVertices uint32, seed uint32
+//	offsets uint32 × (numVertices+1)   (non-decreasing; offsets[0] = 0)
+//	edges   uint32 × offsets[numVertices]
+//
+// The two arrays are exactly the in-memory CSR representation, so a load
+// is two bulk reads plus validation — no per-vertex framing, no
+// per-value decode calls.
+//
+// Legacy (MUSTIX1) — per-vertex adjacency framing, still readable:
+//
+//	magic "MUSTIX1\n"
+//	...same header...
+//	numVertices uint32, seed uint32
 //	per vertex: degree uint32, neighbors uint32...
+//
+// v1 files are converted to CSR while loading (each vertex's neighbor
+// block is read with one io.ReadFull, not a binary.Read per value).
 //
 // Object vectors are not stored — the index references the shared corpus
 // store, which has its own serialization (the collection formats).
 
-var ixMagic = [8]byte{'M', 'U', 'S', 'T', 'I', 'X', '1', '\n'}
+var (
+	ixMagicV1 = [8]byte{'M', 'U', 'S', 'T', 'I', 'X', '1', '\n'}
+	ixMagicV2 = [8]byte{'M', 'U', 'S', 'T', 'I', 'X', '2', '\n'}
+)
 
-// Write serializes the index structure (graph + weights) to w.
+// ioChunkBytes sizes the scratch buffer bulk encode/decode works through:
+// big enough that the bufio round trips amortize, small enough to keep a
+// corrupt header from committing unbounded memory before the stream runs
+// dry.
+const ioChunkBytes = 1 << 16
+
+// writeU32Block writes vals as back-to-back little-endian uint32s through
+// a reused scratch buffer — one bw.Write per chunk instead of a
+// binary.Write (and its reflection dispatch) per value.
+func writeU32Block(bw *bufio.Writer, scratch []byte, vals []uint32) error {
+	for len(vals) > 0 {
+		n := len(scratch) / 4
+		if n > len(vals) {
+			n = len(vals)
+		}
+		for i := 0; i < n; i++ {
+			binary.LittleEndian.PutUint32(scratch[i*4:], vals[i])
+		}
+		if _, err := bw.Write(scratch[:n*4]); err != nil {
+			return err
+		}
+		vals = vals[n:]
+	}
+	return nil
+}
+
+// writeI32Block is writeU32Block for the CSR edge array.
+func writeI32Block(bw *bufio.Writer, scratch []byte, vals []int32) error {
+	for len(vals) > 0 {
+		n := len(scratch) / 4
+		if n > len(vals) {
+			n = len(vals)
+		}
+		for i := 0; i < n; i++ {
+			binary.LittleEndian.PutUint32(scratch[i*4:], uint32(vals[i]))
+		}
+		if _, err := bw.Write(scratch[:n*4]); err != nil {
+			return err
+		}
+		vals = vals[n:]
+	}
+	return nil
+}
+
+// readU32Block fills dst with little-endian uint32s using chunked
+// io.ReadFull decodes.
+func readU32Block(br *bufio.Reader, scratch []byte, dst []uint32) error {
+	for len(dst) > 0 {
+		n := len(scratch) / 4
+		if n > len(dst) {
+			n = len(dst)
+		}
+		if _, err := io.ReadFull(br, scratch[:n*4]); err != nil {
+			return err
+		}
+		for i := 0; i < n; i++ {
+			dst[i] = binary.LittleEndian.Uint32(scratch[i*4:])
+		}
+		dst = dst[n:]
+	}
+	return nil
+}
+
+// Write serializes the index structure (graph + weights) to w in the
+// MUSTIX2 format. Any incremental-insert overlay is compacted into the
+// CSR core first, so Write must not race with concurrent searches (the
+// engine holds its write lock; single-goroutine callers are fine).
 func (f *Fused) Write(w io.Writer) error {
 	bw := bufio.NewWriterSize(w, 1<<20)
-	if _, err := bw.Write(ixMagic[:]); err != nil {
+	if _, err := bw.Write(ixMagicV2[:]); err != nil {
 		return err
 	}
 	if err := binary.Write(bw, binary.LittleEndian, uint32(len(f.Pipeline))); err != nil {
@@ -45,36 +131,41 @@ func (f *Fused) Write(w io.Writer) error {
 			return err
 		}
 	}
-	if err := binary.Write(bw, binary.LittleEndian, uint32(len(f.Graph.Adj))); err != nil {
+	offsets, edges := f.Graph.CSR()
+	if err := binary.Write(bw, binary.LittleEndian, uint32(f.Graph.NumVertices())); err != nil {
 		return err
 	}
 	if err := binary.Write(bw, binary.LittleEndian, uint32(f.Graph.Seed)); err != nil {
 		return err
 	}
-	for _, nbrs := range f.Graph.Adj {
-		if err := binary.Write(bw, binary.LittleEndian, uint32(len(nbrs))); err != nil {
-			return err
-		}
-		for _, u := range nbrs {
-			if err := binary.Write(bw, binary.LittleEndian, uint32(u)); err != nil {
-				return err
-			}
-		}
+	scratch := make([]byte, ioChunkBytes)
+	if err := writeU32Block(bw, scratch, offsets); err != nil {
+		return err
+	}
+	if err := writeI32Block(bw, scratch, edges); err != nil {
+		return err
 	}
 	return bw.Flush()
 }
 
-// ReadFused deserializes an index structure and attaches the shared
-// corpus store (which must hold the same rows the index was built over).
-// The loaded index is single-copy from the start: searches and
-// incremental inserts both run against store, with no fused buffer.
+// ReadFused deserializes an index structure (either format version) and
+// attaches the shared corpus store (which must hold the same rows the
+// index was built over). The loaded index is single-copy from the start:
+// searches and incremental inserts both run against store, with no fused
+// buffer; the topology lands directly in the frozen CSR core.
 func ReadFused(r io.Reader, store *vec.FlatStore) (*Fused, error) {
 	br := bufio.NewReaderSize(r, 1<<20)
 	var got [8]byte
 	if _, err := io.ReadFull(br, got[:]); err != nil {
 		return nil, fmt.Errorf("index: reading magic: %w", err)
 	}
-	if got != ixMagic {
+	var version int
+	switch got {
+	case ixMagicV1:
+		version = 1
+	case ixMagicV2:
+		version = 2
+	default:
 		return nil, fmt.Errorf("index: bad magic %q", got[:])
 	}
 	readU32 := func() (uint32, error) {
@@ -126,34 +217,110 @@ func ReadFused(r io.Reader, store *vec.FlatStore) (*Fused, error) {
 	if seed >= nv {
 		return nil, fmt.Errorf("index: seed %d out of range", seed)
 	}
-	adj := make([][]int32, nv)
-	for v := range adj {
-		deg, err := readU32()
-		if err != nil {
-			return nil, fmt.Errorf("index: reading vertex %d: %w", v, err)
-		}
-		if deg > nv {
-			return nil, fmt.Errorf("index: vertex %d degree %d out of range", v, deg)
-		}
-		nbrs := make([]int32, deg)
-		for i := range nbrs {
-			u, err := readU32()
-			if err != nil {
-				return nil, err
-			}
-			if u >= nv {
-				return nil, fmt.Errorf("index: vertex %d neighbor %d out of range", v, u)
-			}
-			nbrs[i] = int32(u)
-		}
-		adj[v] = nbrs
+
+	var g *graph.Graph
+	if version == 2 {
+		g, err = readTopologyV2(br, nv, int32(seed))
+	} else {
+		g, err = readTopologyV1(br, nv, int32(seed))
+	}
+	if err != nil {
+		return nil, err
 	}
 	return &Fused{
-		Graph:    &graph.Graph{Adj: adj, Seed: int32(seed)},
+		Graph:    g,
 		Weights:  weights,
 		Store:    store,
 		Pipeline: string(pBytes),
 	}, nil
+}
+
+// readTopologyV2 bulk-decodes the two CSR blocks, validating the offsets
+// invariant and every edge endpoint before the graph is constructed. The
+// edge array is grown chunk by chunk as bytes actually arrive, so a
+// corrupt header claiming an absurd edge count fails with an I/O error
+// after at most the real stream size, instead of committing the claimed
+// allocation up front (mirroring the v4 collection loader's bound).
+func readTopologyV2(br *bufio.Reader, nv uint32, seed int32) (*graph.Graph, error) {
+	scratch := make([]byte, ioChunkBytes)
+	offsets := make([]uint32, int(nv)+1)
+	if err := readU32Block(br, scratch, offsets); err != nil {
+		return nil, fmt.Errorf("index: reading CSR offsets: %w", err)
+	}
+	if offsets[0] != 0 {
+		return nil, fmt.Errorf("index: CSR offsets start at %d, want 0", offsets[0])
+	}
+	for v := uint32(0); v < nv; v++ {
+		if offsets[v+1] < offsets[v] {
+			return nil, fmt.Errorf("index: CSR offsets decrease at vertex %d", v)
+		}
+		if offsets[v+1]-offsets[v] > nv {
+			return nil, fmt.Errorf("index: vertex %d degree %d out of range", v, offsets[v+1]-offsets[v])
+		}
+	}
+	numEdges := int(offsets[nv])
+	capHint := numEdges
+	if capHint > 1<<22 {
+		capHint = 1 << 22 // grow the rest as the stream delivers it
+	}
+	edges := make([]int32, 0, capHint)
+	for len(edges) < numEdges {
+		n := len(scratch) / 4
+		if rem := numEdges - len(edges); n > rem {
+			n = rem
+		}
+		if _, err := io.ReadFull(br, scratch[:n*4]); err != nil {
+			return nil, fmt.Errorf("index: reading CSR edges: %w", err)
+		}
+		for i := 0; i < n; i++ {
+			u := binary.LittleEndian.Uint32(scratch[i*4:])
+			if u >= nv {
+				return nil, fmt.Errorf("index: edge target %d out of range", u)
+			}
+			edges = append(edges, int32(u))
+		}
+	}
+	return graph.NewCSRParts(offsets, edges, seed), nil
+}
+
+// readTopologyV1 converts the legacy per-vertex framing into CSR while
+// loading: each vertex's neighbor block is pulled with a single
+// io.ReadFull into the scratch buffer (the old loader issued one
+// binary.Read — an interface dispatch and a 4-byte read — per neighbor).
+func readTopologyV1(br *bufio.Reader, nv uint32, seed int32) (*graph.Graph, error) {
+	scratch := make([]byte, ioChunkBytes)
+	offsets := make([]uint32, int(nv)+1)
+	edges := make([]int32, 0, int(nv)*16)
+	var degBuf [4]byte
+	for v := uint32(0); v < nv; v++ {
+		if _, err := io.ReadFull(br, degBuf[:]); err != nil {
+			return nil, fmt.Errorf("index: reading vertex %d: %w", v, err)
+		}
+		deg := binary.LittleEndian.Uint32(degBuf[:])
+		if deg > nv {
+			return nil, fmt.Errorf("index: vertex %d degree %d out of range", v, deg)
+		}
+		remaining := int(deg)
+		for remaining > 0 {
+			n := len(scratch) / 4
+			if n > remaining {
+				n = remaining
+			}
+			if _, err := io.ReadFull(br, scratch[:n*4]); err != nil {
+				return nil, fmt.Errorf("index: reading vertex %d neighbors: %w", v, err)
+			}
+			for i := 0; i < n; i++ {
+				u := binary.LittleEndian.Uint32(scratch[i*4:])
+				if u >= nv {
+					return nil, fmt.Errorf("index: vertex %d neighbor %d out of range", v, u)
+				}
+				edges = append(edges, int32(u))
+			}
+			remaining -= n
+		}
+		offsets[v+1] = uint32(len(edges))
+	}
+	return graph.NewCSRParts(offsets, edges, seed), nil
 }
 
 // Save writes the index to the file at path.

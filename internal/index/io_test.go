@@ -1,0 +1,242 @@
+package index
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"must/internal/graph"
+	"must/internal/vec"
+)
+
+// writeLegacyV1 serializes f exactly the way the MUSTIX1 writer did:
+// per-vertex degree framing, one binary.Write per value. It exists so the
+// load-compat tests exercise real previous-release bytes.
+func writeLegacyV1(t *testing.T, f *Fused) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	buf.WriteString("MUSTIX1\n")
+	le := binary.LittleEndian
+	if err := binary.Write(&buf, le, uint32(len(f.Pipeline))); err != nil {
+		t.Fatal(err)
+	}
+	buf.WriteString(f.Pipeline)
+	if err := binary.Write(&buf, le, uint32(len(f.Weights))); err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range f.Weights {
+		if err := binary.Write(&buf, le, math.Float32bits(x)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n := f.Graph.NumVertices()
+	if err := binary.Write(&buf, le, uint32(n)); err != nil {
+		t.Fatal(err)
+	}
+	if err := binary.Write(&buf, le, uint32(f.Graph.Seed)); err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < n; v++ {
+		nbrs := f.Graph.Neighbors(int32(v))
+		if err := binary.Write(&buf, le, uint32(len(nbrs))); err != nil {
+			t.Fatal(err)
+		}
+		for _, u := range nbrs {
+			if err := binary.Write(&buf, le, uint32(u)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return buf.Bytes()
+}
+
+// A MUSTIX1 index written by the previous release must load into the CSR
+// core and search identically to the index it came from — the format-bump
+// compatibility promise.
+func TestLegacyV1LoadsIntoCSR(t *testing.T) {
+	objects := fixtureObjects(400, 41)
+	w := vec.Weights{0.8, 0.5}
+	f, err := BuildFused(objects, w, graph.Ours(12, 3, 42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := writeLegacyV1(t, f)
+	got, err := ReadFused(bytes.NewReader(raw), f.Store)
+	if err != nil {
+		t.Fatalf("loading v1 bytes: %v", err)
+	}
+	if got.Pipeline != f.Pipeline || got.Graph.Seed != f.Graph.Seed {
+		t.Fatal("v1 header mismatch")
+	}
+	for v := 0; v < f.Graph.NumVertices(); v++ {
+		want := f.Graph.Neighbors(int32(v))
+		have := got.Graph.Neighbors(int32(v))
+		if len(want) != len(have) {
+			t.Fatalf("vertex %d degree mismatch", v)
+		}
+		for i := range want {
+			if want[i] != have[i] {
+				t.Fatalf("vertex %d adjacency mismatch", v)
+			}
+		}
+	}
+	rng := rand.New(rand.NewSource(43))
+	for qi := 0; qi < 5; qi++ {
+		q := vec.Multi{vec.RandUnit(rng, 16), vec.RandUnit(rng, 8)}
+		a, sa, err := f.NewSearcher().Search(q, 10, 120)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, sb, err := got.NewSearcher().Search(q, 10, 120)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sa != sb {
+			t.Fatalf("query %d: routing stats differ: %+v vs %+v", qi, sa, sb)
+		}
+		for i := range a {
+			if a[i].ID != b[i].ID || a[i].IP != b[i].IP {
+				t.Fatalf("query %d rank %d: v1-loaded index searches differently", qi, i)
+			}
+		}
+	}
+}
+
+// A MUSTIX2 round trip through Write must preserve an index that carries
+// an incremental-insert overlay: Write compacts to CSR, and the loaded
+// graph must agree with the (compacted) original edge-for-edge.
+func TestV2RoundTripAfterInserts(t *testing.T) {
+	objects := fixtureObjects(300, 44)
+	w := vec.Weights{0.8, 0.5}
+	f, err := BuildFused(objects, w, graph.Ours(10, 3, 45))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(46))
+	for i := 0; i < 12; i++ {
+		id := f.Store.AppendMulti(vec.Multi{vec.RandUnit(rng, 16), vec.RandUnit(rng, 8)})
+		if err := f.Insert(id, 10, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := f.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if f.Graph.OverlayVertices() != 0 {
+		t.Fatal("Write did not compact the overlay")
+	}
+	got, err := ReadFused(&buf, f.Store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Graph.NumVertices() != f.Graph.NumVertices() {
+		t.Fatalf("vertex count: got %d want %d", got.Graph.NumVertices(), f.Graph.NumVertices())
+	}
+	for v := 0; v < f.Graph.NumVertices(); v++ {
+		want := f.Graph.Neighbors(int32(v))
+		have := got.Graph.Neighbors(int32(v))
+		if len(want) != len(have) {
+			t.Fatalf("vertex %d degree mismatch", v)
+		}
+		for i := range want {
+			if want[i] != have[i] {
+				t.Fatalf("vertex %d adjacency mismatch", v)
+			}
+		}
+	}
+}
+
+// corruptCase mutates valid MUSTIX2 bytes into a specific corruption.
+func v2Bytes(t *testing.T, n int, seed int64) ([]byte, *Fused) {
+	t.Helper()
+	objects := fixtureObjects(n, seed)
+	f, err := BuildFused(objects, vec.Weights{0.8, 0.5}, graph.Ours(8, 2, seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := f.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), f
+}
+
+// headerLen locates the offset of the CSR offsets block in a MUSTIX2
+// stream (magic + pipeline + weights + nv + seed).
+func v2TopologyStart(f *Fused) int {
+	return 8 + 4 + len(f.Pipeline) + 4 + 4*len(f.Weights) + 4 + 4
+}
+
+// Corrupt MUSTIX2 streams must fail with errors, not panics or huge
+// allocations — mirroring the v4 collection corrupt-header bound test.
+func TestV2CorruptHeaderBounds(t *testing.T) {
+	raw, f := v2Bytes(t, 120, 47)
+	top := v2TopologyStart(f)
+	le := binary.LittleEndian
+
+	t.Run("truncated-offsets", func(t *testing.T) {
+		if _, err := ReadFused(bytes.NewReader(raw[:top+10]), f.Store); err == nil {
+			t.Error("truncated offsets block did not error")
+		}
+	})
+	t.Run("decreasing-offsets", func(t *testing.T) {
+		bad := append([]byte(nil), raw...)
+		// offsets[1] and offsets[2] swapped out of order.
+		le.PutUint32(bad[top+4:], 1<<30)
+		if _, err := ReadFused(bytes.NewReader(bad), f.Store); err == nil || !strings.Contains(err.Error(), "out of range") && !strings.Contains(err.Error(), "decrease") {
+			t.Errorf("corrupt offsets error = %v", err)
+		}
+	})
+	t.Run("edge-out-of-range", func(t *testing.T) {
+		bad := append([]byte(nil), raw...)
+		nv := f.Graph.NumVertices()
+		edgeStart := top + 4*(nv+1)
+		le.PutUint32(bad[edgeStart:], uint32(nv)+7)
+		if _, err := ReadFused(bytes.NewReader(bad), f.Store); err == nil || !strings.Contains(err.Error(), "out of range") {
+			t.Errorf("out-of-range edge error = %v", err)
+		}
+	})
+	t.Run("absurd-edge-count-truncated-stream", func(t *testing.T) {
+		// A lying terminator claims ~n² edges; the loader must fail with an
+		// I/O error once the stream runs dry instead of pre-committing the
+		// claimed allocation (per-vertex degree is bounded by nv, so the
+		// largest credible claim is nv² — the chunked reader never allocates
+		// ahead of delivered bytes).
+		bad := append([]byte(nil), raw[:top+4*(f.Graph.NumVertices()+1)]...)
+		nv := uint32(f.Graph.NumVertices())
+		// Rewrite offsets as a maximal valid ramp: offsets[v] = v*nv.
+		for v := uint32(0); v <= nv; v++ {
+			le.PutUint32(bad[top+int(4*v):], v*nv)
+		}
+		if _, err := ReadFused(bytes.NewReader(bad), f.Store); err == nil {
+			t.Error("absurd edge count with truncated stream did not error")
+		}
+	})
+	t.Run("bad-magic", func(t *testing.T) {
+		bad := append([]byte(nil), raw...)
+		bad[6] = '9'
+		if _, err := ReadFused(bytes.NewReader(bad), f.Store); err == nil || !strings.Contains(err.Error(), "bad magic") {
+			t.Errorf("bad magic error = %v", err)
+		}
+	})
+	t.Run("degree-overflow-v1", func(t *testing.T) {
+		// v1 vertex with degree > numVertices must be rejected before any
+		// neighbor bytes are trusted.
+		var buf bytes.Buffer
+		buf.WriteString("MUSTIX1\n")
+		binary.Write(&buf, le, uint32(0)) // empty pipeline
+		binary.Write(&buf, le, uint32(2)) // two weights
+		binary.Write(&buf, le, math.Float32bits(0.8))
+		binary.Write(&buf, le, math.Float32bits(0.5))
+		binary.Write(&buf, le, uint32(f.Store.Len())) // matches store
+		binary.Write(&buf, le, uint32(0))             // seed
+		binary.Write(&buf, le, uint32(1<<31))         // absurd degree
+		if _, err := ReadFused(bytes.NewReader(buf.Bytes()), f.Store); err == nil || !strings.Contains(err.Error(), "degree") {
+			t.Errorf("absurd v1 degree error = %v", err)
+		}
+	})
+}

@@ -26,7 +26,9 @@ func TestConcurrentSearchersAgreeWithSerial(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		serial[i] = res
+		// Search returns a view into the searcher's reusable buffer; copy
+		// before the next call overwrites it.
+		serial[i] = CloneResults(res)
 	}
 
 	parallel := make([][]Result, nq)
@@ -86,13 +88,14 @@ func TestTombstonesSharedSemantics(t *testing.T) {
 	if len(before) == 0 {
 		t.Fatal("no results")
 	}
-	dead[before[0].ID] = true
+	deadID := before[0].ID // before aliases the searcher's buffer; save the ID
+	dead[deadID] = true
 	after, _, err := s.Search(q, 5, 150)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, r := range after {
-		if r.ID == before[0].ID {
+		if r.ID == deadID {
 			t.Fatal("tombstoned-after-the-fact object still returned")
 		}
 	}

@@ -31,6 +31,13 @@ type Stats struct {
 // underlying graph and the read-only vector storage — pooled searchers
 // over one shared FlatStore cost only their visit buffers).
 //
+// Steady-state searches are allocation-free on the flat-kernel path: the
+// visit state is a single epoch-stamped []uint32 (bumping the epoch
+// resets it in O(1), replacing two []bool arrays and a touched-list
+// sweep), the Algorithm 2 result pool and the neighbor-batch buffer are
+// reused across calls, and the fused scanner re-targets in place. The
+// returned result slice is part of that reused state — see SearchParams.
+//
 // Candidate scoring runs on a contiguous vec.FlatStore through the fused
 // vec.FlatScanner kernel: one ω²-scaled multiply-add sweep per candidate
 // row, with the Lemma 4 early exit checked at modality boundaries. The
@@ -66,11 +73,25 @@ type Searcher struct {
 	patience int
 	rng      *rand.Rand
 
-	// reusable per-search state
-	visited []bool // H of Algorithm 2
-	seen    []bool // vertices whose IP has been computed
-	touched []int32
+	// Reusable per-search state. marks is the epoch-stamped visit array:
+	// marks[v] == gen means v's IP has been computed (H' of Algorithm 2),
+	// marks[v] == gen+1 means v has also been expanded (H). gen advances
+	// by 2 per search, so the array resets without being touched.
+	marks []uint32
+	gen   uint32
+	// pool is the result set R of Algorithm 2, reused across calls.
+	pool []poolEntry
+	// results backs the returned slice; valid until the next search.
+	results []Result
 	batch   []int32 // unseen neighbors of the current hop, gathered first
+	// flat is the reusable fused scanner (reset per call on the flat path).
+	flat vec.FlatScanner
+}
+
+// poolEntry is one entry of the Algorithm 2 result pool R.
+type poolEntry struct {
+	id int32
+	ip float32
 }
 
 // Option configures a Searcher.
@@ -134,8 +155,7 @@ func New(g *graph.Graph, objects []vec.Multi, w vec.Weights, opts ...Option) *Se
 		weights:  w,
 		optimize: true,
 		rng:      rand.New(rand.NewSource(1)),
-		visited:  make([]bool, len(objects)),
-		seen:     make([]bool, len(objects)),
+		marks:    make([]uint32, len(objects)),
 	}
 	for _, o := range opts {
 		o(s)
@@ -159,8 +179,7 @@ func NewFlat(g *graph.Graph, store *vec.FlatStore, w vec.Weights, opts ...Option
 		weights:  w,
 		optimize: true,
 		rng:      rand.New(rand.NewSource(1)),
-		visited:  make([]bool, n),
-		seen:     make([]bool, n),
+		marks:    make([]uint32, n),
 	}
 	for _, o := range opts {
 		o(s)
@@ -235,7 +254,8 @@ const ctxCheckInterval = 64
 // under the searcher's weights. l is the result-set size of Algorithm 2
 // (l ≥ k); larger l trades speed for recall (Tab. XII). Missing query
 // modalities are handled by zero weights in the searcher's weight vector
-// (§VII-B).
+// (§VII-B). The returned slice is owned by the Searcher and valid until
+// its next search — see SearchParams.
 func (s *Searcher) Search(query vec.Multi, k, l int) ([]Result, Stats, error) {
 	return s.SearchParams(query, s.defaults(k, l))
 }
@@ -243,7 +263,13 @@ func (s *Searcher) Search(query vec.Multi, k, l int) ([]Result, Stats, error) {
 // SearchParams is Search with explicit per-call parameters. It lets one
 // pooled Searcher serve calls with different filters, weights, tombstone
 // sets, and contexts: the Searcher contributes only the graph, the object
-// vectors, and its reusable visit buffers.
+// vectors, and its reusable routing buffers.
+//
+// The returned slice aliases the Searcher's reusable result buffer: it is
+// valid until the next Search/SearchParams call on this Searcher. Copy it
+// (or the fields you need) before searching again — the steady-state
+// search path performs zero allocations, so there is no per-call slice to
+// hand out.
 func (s *Searcher) SearchParams(query vec.Multi, p Params) ([]Result, Stats, error) {
 	k, l := p.K, p.L
 	if k <= 0 {
@@ -283,21 +309,30 @@ func (s *Searcher) SearchParams(query vec.Multi, p Params) ([]Result, Stats, err
 	// packed row once; the legacy scanner dispatches per modality slice.
 	// Both use the same distance formulation and accumulation order, so
 	// the optimized and unoptimized paths agree bit-for-bit within either
-	// kernel.
+	// kernel. The flat scanner is re-targeted in place (no allocation);
+	// the comparison-only legacy path allocates a scanner per call.
 	var flat *vec.FlatScanner
 	var legacy *vec.PartialIPScanner
 	if s.useFlat && s.store != nil {
-		flat = vec.NewFlatScanner(s.store, weights, query)
+		s.flat.Reset(s.store, weights, query)
+		flat = &s.flat
 	} else {
 		legacy = vec.NewPartialIPScanner(weights, query)
 	}
 
-	// Reset the visit/seen markers from the previous search.
-	for _, v := range s.touched {
-		s.visited[v] = false
-		s.seen[v] = false
+	// Advance the visit epoch: every stamp from previous searches is now
+	// stale, which resets the whole array in O(1). Near the uint32 limit
+	// the stamps are cleared for real and the epoch restarts.
+	s.gen += 2
+	if s.gen >= ^uint32(1) { // 2^32-2: gen+1 would wrap next search
+		for i := range s.marks {
+			s.marks[i] = 0
+		}
+		s.gen = 2
 	}
-	s.touched = s.touched[:0]
+	gen := s.gen
+	marks := s.marks
+	seenCount := 0
 
 	// evalFull computes the exact joint IP with no early termination.
 	evalFull := func(id int32) float32 {
@@ -308,16 +343,16 @@ func (s *Searcher) SearchParams(query vec.Multi, p Params) ([]Result, Stats, err
 		return legacy.FullIP(s.object(id))
 	}
 
-	// R: the result pool, sorted by descending IP, capacity l. cursor is
-	// the lowest index that may hold an unvisited entry: everything before
-	// it is visited, so the per-hop "nearest unvisited vertex" lookup
-	// resumes from cursor instead of rescanning the pool from the top
-	// (which costs O(l) per hop and dominated routing at large l).
-	type entry struct {
-		id int32
-		ip float32
+	// R: the result pool, sorted by descending IP, capacity l, reused
+	// across calls. cursor is the lowest index that may hold an unvisited
+	// entry: everything before it is visited, so the per-hop "nearest
+	// unvisited vertex" lookup resumes from cursor instead of rescanning
+	// the pool from the top (which costs O(l) per hop and dominated
+	// routing at large l).
+	if cap(s.pool) < l {
+		s.pool = make([]poolEntry, 0, l)
 	}
-	pool := make([]entry, 0, l)
+	pool := s.pool[:0]
 	cursor := 0
 	insert := func(id int32, ip float32) {
 		// Hand-rolled binary search for the first entry with a smaller IP
@@ -333,19 +368,19 @@ func (s *Searcher) SearchParams(query vec.Multi, p Params) ([]Result, Stats, err
 		}
 		pos := lo
 		if len(pool) < l {
-			pool = append(pool, entry{})
+			pool = append(pool, poolEntry{})
 		} else if pos >= l {
 			return
 		}
 		copy(pool[pos+1:], pool[pos:])
-		pool[pos] = entry{id, ip}
+		pool[pos] = poolEntry{id, ip}
 		if pos < cursor {
 			cursor = pos
 		}
 	}
 	mark := func(id int32) {
-		s.seen[id] = true
-		s.touched = append(s.touched, id)
+		marks[id] = gen
+		seenCount++
 	}
 
 	// Line 1-3: seed plus l-1 random vertices.
@@ -353,12 +388,12 @@ func (s *Searcher) SearchParams(query vec.Multi, p Params) ([]Result, Stats, err
 	insert(s.g.Seed, evalFull(s.g.Seed))
 	for len(pool) < l {
 		id := int32(s.rng.Intn(n))
-		if s.seen[id] {
+		if marks[id] >= gen {
 			continue
 		}
 		mark(id)
 		insert(id, evalFull(id))
-		if len(s.touched) == n {
+		if seenCount == n {
 			break
 		}
 	}
@@ -368,31 +403,33 @@ func (s *Searcher) SearchParams(query vec.Multi, p Params) ([]Result, Stats, err
 	for {
 		if p.Ctx != nil && stats.Hops&(ctxCheckInterval-1) == 0 {
 			if err := p.Ctx.Err(); err != nil {
+				s.pool = pool[:0]
 				return nil, stats, fmt.Errorf("search: %w", err)
 			}
 		}
 		// v ← nearest unvisited vertex in R (first unvisited at or after
 		// cursor; the cursor invariant keeps everything before it visited).
-		for cursor < len(pool) && s.visited[pool[cursor].id] {
+		for cursor < len(pool) && marks[pool[cursor].id] == gen+1 {
 			cursor++
 		}
 		if cursor == len(pool) {
 			break
 		}
 		v := pool[cursor].id
-		s.visited[v] = true
+		marks[v] = gen + 1 // visited
 		stats.Hops++
 		threshold := pool[len(pool)-1].ip // worst of R (z in Algorithm 2)
 		full := len(pool) == l
 		improved := false
 		// Gather the unseen neighbors first, then score the batch: the
-		// candidate IDs are resolved up front so the scoring loop is a
-		// straight run of row sweeps over the packed store, which the
-		// hardware prefetcher handles far better than scoring interleaved
-		// with adjacency-list chasing.
+		// candidate IDs are resolved up front — one zero-copy subslice of
+		// the CSR edge array per hop — so the scoring loop is a straight
+		// run of row sweeps over the packed store, which the hardware
+		// prefetcher handles far better than scoring interleaved with
+		// adjacency chasing.
 		batch := s.batch[:0]
-		for _, u := range s.g.Adj[v] {
-			if s.seen[u] {
+		for _, u := range s.g.Neighbors(v) {
+			if marks[u] >= gen {
 				continue
 			}
 			mark(u)
@@ -434,8 +471,10 @@ func (s *Searcher) SearchParams(query vec.Multi, p Params) ([]Result, Stats, err
 			}
 		}
 	}
+	// Hand the (possibly grown) pool buffer back to the searcher.
+	s.pool = pool
 
-	out := make([]Result, 0, k)
+	out := s.results[:0]
 	for _, e := range pool {
 		if len(out) == k {
 			break
@@ -452,6 +491,7 @@ func (s *Searcher) SearchParams(query vec.Multi, p Params) ([]Result, Stats, err
 		}
 		out = append(out, r)
 	}
+	s.results = out
 	return out, stats, nil
 }
 
@@ -478,6 +518,12 @@ func IDs(rs []Result) []int {
 		out[i] = r.ID
 	}
 	return out
+}
+
+// CloneResults copies results out of a Searcher's reusable buffer, for
+// callers that need them to survive the searcher's next call.
+func CloneResults(rs []Result) []Result {
+	return append([]Result(nil), rs...)
 }
 
 // ModalityView re-wraps multi-vector objects as single-modality objects so

@@ -251,6 +251,7 @@ func TestZeroWeightIgnoresModality(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	a = CloneResults(a) // the next call on s reuses the result buffer
 	b, _, err := s.Search(q2, 5, 100)
 	if err != nil {
 		t.Fatal(err)
@@ -271,6 +272,7 @@ func TestSearcherReuseAcrossQueries(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	first = CloneResults(first)
 	// Interleave a different query, then repeat the first: state reset
 	// must make the repeat identical.
 	if _, _, err := s.Search(randomQuery(rng), 5, 80); err != nil {
@@ -323,7 +325,7 @@ func TestModalityView(t *testing.T) {
 }
 
 func TestSearchEmptyIndex(t *testing.T) {
-	s := New(&graph.Graph{Adj: nil, Seed: 0}, nil, vec.Weights{1})
+	s := New(graph.NewCSR(nil, 0), nil, vec.Weights{1})
 	got, _, err := s.Search(vec.Multi{}, 1, 10)
 	if err != nil {
 		t.Fatal(err)

@@ -279,10 +279,24 @@ func (s *FlatStore) Runs(fn func(run []float32) error) error {
 // layout. Missing (nil) modalities become zero ranges; combined with a
 // zero weight they neither score nor steer routing (§VII-B).
 func (s *FlatStore) PackQuery(q Multi) []float32 {
+	row := make([]float32, s.rowDim)
+	s.PackQueryInto(row, q)
+	return row
+}
+
+// PackQueryInto is PackQuery into a caller-owned buffer of length RowDim,
+// zeroing it first — the allocation-free path pooled searchers reuse
+// across calls.
+func (s *FlatStore) PackQueryInto(row []float32, q Multi) {
 	if len(q) != len(s.dims) {
 		panic(fmt.Sprintf("vec: query has %d modalities, store has %d", len(q), len(s.dims)))
 	}
-	row := make([]float32, s.rowDim)
+	if len(row) != s.rowDim {
+		panic(fmt.Sprintf("vec: pack buffer has %d floats, store rows have %d", len(row), s.rowDim))
+	}
+	for i := range row {
+		row[i] = 0
+	}
 	for m, v := range q {
 		if v == nil {
 			continue
@@ -292,7 +306,6 @@ func (s *FlatStore) PackQuery(q Multi) []float32 {
 		}
 		copy(row[s.offs[m]:s.offs[m+1]], v)
 	}
-	return row
 }
 
 // ---------------------------------------------------------------------------
@@ -328,8 +341,25 @@ type FlatScanner struct {
 // out like st. Modalities at or beyond len(w), or with a zero weight, are
 // skipped entirely (the t != m case of §VII-B).
 func NewFlatScanner(st *FlatStore, w Weights, query Multi) *FlatScanner {
-	sq := st.PackQuery(query)
-	fs := &FlatScanner{sq: sq, sumW2: w.SumSquared()}
+	fs := &FlatScanner{}
+	fs.Reset(st, w, query)
+	return fs
+}
+
+// Reset re-targets the scanner at a new query (and weights) against rows
+// laid out like st, reusing the pre-scaled-query and segment buffers from
+// the previous call. Pooled searchers call this once per search instead
+// of NewFlatScanner, which is what keeps the steady-state search path at
+// zero allocations.
+func (fs *FlatScanner) Reset(st *FlatStore, w Weights, query Multi) {
+	if cap(fs.sq) < st.rowDim {
+		fs.sq = make([]float32, st.rowDim)
+	}
+	sq := fs.sq[:st.rowDim]
+	fs.sq = sq
+	st.PackQueryInto(sq, query)
+	fs.segs = fs.segs[:0]
+	fs.sumW2 = w.SumSquared()
 	for m := range st.dims {
 		if m >= len(w) || w[m] == 0 {
 			for i := st.offs[m]; i < st.offs[m+1]; i++ {
@@ -345,7 +375,6 @@ func NewFlatScanner(st *FlatStore, w Weights, query Multi) *FlatScanner {
 		}
 		fs.segs = append(fs.segs, flatSeg{a: st.offs[m], b: st.offs[m+1], halfC: 0.5 * w2 * (qq + 1)})
 	}
-	return fs
 }
 
 // SumW2 returns Σ ω_i², the joint IP of the query with itself under unit
