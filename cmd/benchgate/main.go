@@ -61,8 +61,8 @@ type Baseline struct {
 // gatedByDefault marks the benchmarks that guard the paper's headline
 // claims plus the storage-architecture invariants: single-thread search
 // throughput (0 allocs/op steady state), index-build time, index memory
-// (graph bytes/edge + single-copy corpus), and the MUSTIX2 bulk-load
-// path.
+// (graph bytes/edge + single-copy corpus), the MUSTIX2 bulk-load path,
+// and the mustd serving pipeline (direct and batched dispatch).
 var gatedByDefault = []*regexp.Regexp{
 	regexp.MustCompile(`^BenchmarkSearch/flat/`),
 	regexp.MustCompile(`^BenchmarkFig6MUSTSearch$`),
@@ -70,6 +70,7 @@ var gatedByDefault = []*regexp.Regexp{
 	regexp.MustCompile(`^BenchmarkFig10BuildOurs$`),
 	regexp.MustCompile(`^BenchmarkIndexMemory$`),
 	regexp.MustCompile(`^BenchmarkIndexLoad$`),
+	regexp.MustCompile(`^BenchmarkServePipeline/`),
 }
 
 // benchLine parses one `go test -bench` result line. Custom ReportMetric

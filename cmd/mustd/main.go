@@ -1,0 +1,197 @@
+// Command mustd is the MUST serving daemon: an HTTP/JSON front end over
+// one must.Engine with dynamic request batching, an epoch-invalidated
+// result cache, admission control, Prometheus metrics, and a graceful
+// SIGTERM drain. All serving logic lives in internal/server; this file
+// is flags, lifecycle, and snapshots.
+//
+//	mustd -schema image:512,text:384            # start empty, insert over HTTP
+//	mustd -load engine.bin -snapshot engine.bin # restore, snapshot on shutdown
+//
+// Endpoints: POST /v1/search /v1/insert /v1/delete /v1/rebuild,
+// GET /v1/stats /healthz /metrics.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"must"
+	"must/internal/server"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":7700", "listen address")
+		schemaSpec = flag.String("schema", "", "engine schema as name:dim,name:dim (modality 0 is the target); required unless -load is given")
+		load       = flag.String("load", "", "restore the engine from this snapshot file at startup")
+		snapshot   = flag.String("snapshot", "", "write engine snapshots to this file (atomic rename; always written on shutdown)")
+		snapEvery  = flag.Duration("snapshot-interval", 0, "also snapshot periodically at this interval (0 = shutdown only)")
+
+		gamma = flag.Int("gamma", 30, "graph degree bound γ for builds of a fresh engine")
+		seed  = flag.Int64("seed", 0, "construction seed for builds of a fresh engine")
+
+		maxBatch     = flag.Int("max-batch", 64, "largest coalesced engine batch")
+		batchDelay   = flag.Duration("batch-delay", time.Millisecond, "longest a search waits for batch companions")
+		batchWorkers = flag.Int("batch-workers", 0, "engine workers per batch (0 = GOMAXPROCS)")
+		noBatch      = flag.Bool("no-batch", false, "serve each search with a direct engine call (per-request dispatch)")
+
+		cacheSize   = flag.Int("cache", 4096, "result-cache capacity in responses (negative disables)")
+		maxInFlight = flag.Int("max-in-flight", 256, "admitted requests before shedding 429s")
+		defTimeout  = flag.Duration("default-timeout", 2*time.Second, "search deadline when the request has no timeout_ms")
+		maxTimeout  = flag.Duration("max-timeout", 30*time.Second, "clamp for request-supplied timeout_ms")
+	)
+	flag.Parse()
+	if err := run(*addr, *schemaSpec, *load, *snapshot, *snapEvery, *gamma, *seed, server.Config{
+		MaxBatch:        *maxBatch,
+		BatchDelay:      *batchDelay,
+		BatchWorkers:    *batchWorkers,
+		DisableBatching: *noBatch,
+		CacheSize:       *cacheSize,
+		MaxInFlight:     *maxInFlight,
+		DefaultTimeout:  *defTimeout,
+		MaxTimeout:      *maxTimeout,
+	}); err != nil {
+		fmt.Fprintf(os.Stderr, "mustd: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// parseSchema turns "image:512,text:384" into a must.Schema.
+func parseSchema(spec string) (must.Schema, error) {
+	if spec == "" {
+		return nil, errors.New("-schema is required when starting without -load (e.g. -schema image:512,text:384)")
+	}
+	var sc must.Schema
+	for _, part := range strings.Split(spec, ",") {
+		name, dimStr, ok := strings.Cut(strings.TrimSpace(part), ":")
+		if !ok {
+			return nil, fmt.Errorf("schema entry %q is not name:dim", part)
+		}
+		dim, err := strconv.Atoi(dimStr)
+		if err != nil || dim <= 0 {
+			return nil, fmt.Errorf("schema entry %q has invalid dim", part)
+		}
+		sc = append(sc, must.Modality{Name: name, Dim: dim})
+	}
+	return sc, sc.Validate()
+}
+
+func openEngine(load, schemaSpec string, gamma int, seed int64) (*must.Engine, error) {
+	if load != "" {
+		start := time.Now()
+		eng, err := must.LoadEngine(load)
+		if err != nil {
+			return nil, fmt.Errorf("loading %s: %w", load, err)
+		}
+		log.Printf("restored %d objects from %s in %v", eng.Len(), load, time.Since(start).Round(time.Millisecond))
+		return eng, nil
+	}
+	sc, err := parseSchema(schemaSpec)
+	if err != nil {
+		return nil, err
+	}
+	return must.NewEngine(sc, must.EngineOptions{
+		Build: must.BuildOptions{Gamma: gamma, Seed: seed},
+	})
+}
+
+// saveSnapshot writes the engine to path via a temp file + rename so a
+// crash mid-write never corrupts the previous snapshot.
+func saveSnapshot(eng *must.Engine, path string) error {
+	tmp := path + ".tmp"
+	if err := eng.Save(tmp); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+func run(addr, schemaSpec, load, snapshot string, snapEvery time.Duration, gamma int, seed int64, cfg server.Config) error {
+	eng, err := openEngine(load, schemaSpec, gamma, seed)
+	if err != nil {
+		return err
+	}
+	srv := server.New(eng, cfg)
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	names := make([]string, 0, len(eng.Schema()))
+	for _, m := range eng.Schema() {
+		names = append(names, fmt.Sprintf("%s:%d", m.Name, m.Dim))
+	}
+	log.Printf("mustd listening on %s (schema %s, %d objects, batching=%v)",
+		ln.Addr(), strings.Join(names, ","), eng.Len(), !cfg.DisableBatching)
+
+	// Periodic snapshots run alongside serving; Engine.SaveTo holds only
+	// a read lock, so searches keep flowing during a snapshot.
+	snapStop := make(chan struct{})
+	snapDone := make(chan struct{})
+	go func() {
+		defer close(snapDone)
+		if snapshot == "" || snapEvery <= 0 {
+			return
+		}
+		t := time.NewTicker(snapEvery)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				if err := saveSnapshot(eng, snapshot); err != nil {
+					log.Printf("snapshot: %v", err)
+				} else {
+					log.Printf("snapshot written to %s (%d objects)", snapshot, eng.Len())
+				}
+			case <-snapStop:
+				return
+			}
+		}
+	}()
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		log.Printf("received %v, draining", s)
+	case err := <-serveErr:
+		close(snapStop)
+		<-snapDone
+		return err
+	}
+
+	// Graceful drain: stop advertising health, refuse new API requests,
+	// let admitted ones finish, then stop the batcher and snapshot.
+	srv.StartDraining()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		log.Printf("shutdown: %v", err)
+	}
+	srv.Close()
+	close(snapStop)
+	<-snapDone
+	if snapshot != "" {
+		if err := saveSnapshot(eng, snapshot); err != nil {
+			return fmt.Errorf("final snapshot: %w", err)
+		}
+		log.Printf("final snapshot written to %s (%d objects)", snapshot, eng.Len())
+	}
+	log.Printf("mustd drained cleanly")
+	return nil
+}

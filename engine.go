@@ -65,6 +65,22 @@ type Engine struct {
 	lookup    map[int64]int // engine ID -> internal slot
 	nextID    int64
 	searchers *sync.Pool // *search.Searcher over the current graph
+	// epoch counts result-visible mutations (insert, delete, weight
+	// change, build, rebuild). Serving layers key caches on it: any
+	// mutation bumps it, invalidating every cached result at once.
+	epoch uint64
+}
+
+// Epoch returns the engine's mutation epoch: a counter that increments
+// on every change that can alter search results (Insert, Delete,
+// SetWeights, LearnWeights, Build, Rebuild). Two searches issued at the
+// same epoch with the same query return the same results, so the epoch
+// is a correct cache-invalidation key for result caches above the
+// engine.
+func (e *Engine) Epoch() uint64 {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.epoch
 }
 
 // NewEngine creates an empty engine with the given schema. Schema[0] is
@@ -151,6 +167,7 @@ func (e *Engine) InsertObject(o Object) (int64, error) {
 	e.nextID++
 	e.ids = append(e.ids, id)
 	e.lookup[id] = slot
+	e.epoch++
 	if e.ix != nil {
 		// The graph and object slice grew; pooled searchers sized to the
 		// old vertex count must not be reused.
@@ -172,7 +189,11 @@ func (e *Engine) Delete(id int64) error {
 	if !ok {
 		return fmt.Errorf("must: unknown object id %d", id)
 	}
-	return e.ix.Delete(slot)
+	if err := e.ix.Delete(slot); err != nil {
+		return err
+	}
+	e.epoch++
+	return nil
 }
 
 // Len returns the number of live (non-tombstoned) objects.
@@ -236,6 +257,7 @@ func (e *Engine) SetWeights(w Weights) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.weights = append(Weights(nil), w...)
+	e.epoch++
 	return nil
 }
 
@@ -283,6 +305,7 @@ func (e *Engine) LearnWeights(queries []NamedVectors, positives []int64, cfg Wei
 	}
 	e.mu.Lock()
 	e.weights = append(Weights(nil), w...)
+	e.epoch++
 	e.mu.Unlock()
 	return w, nil
 }
@@ -303,6 +326,7 @@ func (e *Engine) Build() error {
 		return err
 	}
 	e.ix = ix
+	e.epoch++
 	e.resetSearchersLocked()
 	return nil
 }
@@ -394,6 +418,7 @@ func (e *Engine) Rebuild() error {
 	e.ix = newIx
 	e.ids = aliveIDs
 	e.lookup = newLookup
+	e.epoch++
 	e.resetSearchersLocked()
 	return nil
 }
@@ -456,10 +481,13 @@ func (e *Engine) convertLocked(q Query) (vec.Multi, Weights, error) {
 	return mv, w, nil
 }
 
-// Search answers one typed query. It is safe to call from any number of
-// goroutines; ctx cancels or time-bounds the routing loop. Results carry
-// per-modality similarity breakdowns and routing statistics.
-func (e *Engine) Search(ctx context.Context, q Query) (*Response, error) {
+// searchOneLocked answers one query on an already-borrowed searcher.
+// Callers must hold at least the read lock and must have checked that
+// the index is built. The returned Response owns its matches: every
+// result row is cloned out of the searcher's reusable buffers before
+// returning, so the Response stays valid after the searcher is reused
+// or pooled.
+func (e *Engine) searchOneLocked(ctx context.Context, s *search.Searcher, q Query) (*Response, error) {
 	start := time.Now()
 	k := q.K
 	if k == 0 {
@@ -472,11 +500,6 @@ func (e *Engine) Search(ctx context.Context, q Query) (*Response, error) {
 			l = 100
 		}
 	}
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	if e.ix == nil {
-		return nil, ErrNotBuilt
-	}
 	mv, w, err := e.convertLocked(q)
 	if err != nil {
 		return nil, err
@@ -486,8 +509,6 @@ func (e *Engine) Search(ctx context.Context, q Query) (*Response, error) {
 		ids := e.ids
 		filter = func(slot int) bool { return q.Filter(ids[slot]) }
 	}
-	pool := e.searchers
-	s := pool.Get().(*search.Searcher)
 	res, st, err := s.SearchParams(mv, search.Params{
 		K:          k,
 		L:          l,
@@ -500,12 +521,11 @@ func (e *Engine) Search(ctx context.Context, q Query) (*Response, error) {
 		Ctx:        ctx,
 	})
 	if err != nil {
-		pool.Put(s)
 		return nil, err
 	}
 	// res aliases the searcher's reusable result buffer, so it must be
-	// converted to ScoredMatches before the searcher goes back in the pool
-	// (another goroutine's search would overwrite it).
+	// converted to ScoredMatches before the searcher serves another query
+	// (a later search would overwrite it).
 	matches := make([]ScoredMatch, len(res))
 	for i, r := range res {
 		by := make(map[string]float32, len(e.schema))
@@ -516,12 +536,75 @@ func (e *Engine) Search(ctx context.Context, q Query) (*Response, error) {
 		}
 		matches[i] = ScoredMatch{ID: e.ids[r.ID], Similarity: r.IP, ByModality: by}
 	}
-	pool.Put(s)
 	return &Response{
 		Matches: matches,
 		Stats:   SearchStats{FullEvals: st.FullEvals, PartialSkips: st.PartialSkips, Hops: st.Hops},
 		Latency: time.Since(start),
 	}, nil
+}
+
+// Search answers one typed query. It is safe to call from any number of
+// goroutines; ctx cancels or time-bounds the routing loop. Results carry
+// per-modality similarity breakdowns and routing statistics.
+func (e *Engine) Search(ctx context.Context, q Query) (*Response, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.ix == nil {
+		return nil, ErrNotBuilt
+	}
+	pool := e.searchers
+	s := pool.Get().(*search.Searcher)
+	resp, err := e.searchOneLocked(ctx, s, q)
+	pool.Put(s)
+	return resp, err
+}
+
+// SearchEach answers many queries concurrently and reports a result or
+// an error per query: out[i] and errs[i] describe queries[i], exactly
+// one of them non-nil. Unlike SearchBatch, one failed or cancelled
+// query never poisons the rest of the batch — every other query still
+// runs to completion and keeps its result.
+//
+// This is the serving-tier entry point: each worker borrows one pooled
+// searcher for its whole stride (amortizing pool traffic across the
+// batch), the read lock is taken once for the batch, and every response
+// is cloned out of searcher-owned buffers before return. workers ≤ 0
+// uses one worker per query up to GOMAXPROCS.
+func (e *Engine) SearchEach(ctx context.Context, queries []Query, workers int) ([]*Response, []error) {
+	if len(queries) == 0 {
+		return nil, nil
+	}
+	if workers <= 0 {
+		workers = defaultWorkers(len(queries))
+	}
+	if workers > len(queries) {
+		workers = len(queries)
+	}
+	out := make([]*Response, len(queries))
+	errs := make([]error, len(queries))
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.ix == nil {
+		for i := range errs {
+			errs[i] = ErrNotBuilt
+		}
+		return out, errs
+	}
+	pool := e.searchers
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for wk := 0; wk < workers; wk++ {
+		go func(wk int) {
+			defer wg.Done()
+			s := pool.Get().(*search.Searcher)
+			defer pool.Put(s)
+			for i := wk; i < len(queries); i += workers {
+				out[i], errs[i] = e.searchOneLocked(ctx, s, queries[i])
+			}
+		}(wk)
+	}
+	wg.Wait()
+	return out, errs
 }
 
 // ExactSearch answers one typed query by exhaustive scan (the paper's
@@ -583,38 +666,14 @@ func (e *Engine) ExactSearch(ctx context.Context, q Query) (*Response, error) {
 
 // SearchBatch answers many queries concurrently and returns responses
 // aligned with the queries slice. workers ≤ 0 uses one worker per query
-// up to GOMAXPROCS. The first error aborts the batch.
+// up to GOMAXPROCS. Any query error fails the whole call with the
+// first (lowest-index) error; use SearchEach when partial results and
+// per-query errors are wanted instead.
 func (e *Engine) SearchBatch(ctx context.Context, queries []Query, workers int) ([]*Response, error) {
-	if len(queries) == 0 {
-		return nil, nil
-	}
-	if workers <= 0 {
-		workers = defaultWorkers(len(queries))
-	}
-	if workers > len(queries) {
-		workers = len(queries)
-	}
-	out := make([]*Response, len(queries))
-	errs := make([]error, workers)
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for wk := 0; wk < workers; wk++ {
-		go func(wk int) {
-			defer wg.Done()
-			for i := wk; i < len(queries); i += workers {
-				r, err := e.Search(ctx, queries[i])
-				if err != nil {
-					errs[wk] = fmt.Errorf("must: batch query %d: %w", i, err)
-					return
-				}
-				out[i] = r
-			}
-		}(wk)
-	}
-	wg.Wait()
-	for _, err := range errs {
+	out, errs := e.SearchEach(ctx, queries, workers)
+	for i, err := range errs {
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("must: batch query %d: %w", i, err)
 		}
 	}
 	return out, nil

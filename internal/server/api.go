@@ -1,0 +1,136 @@
+// Package server is the mustd serving tier: HTTP/JSON handlers over a
+// must.Engine with dynamic request batching, an epoch-invalidated
+// result cache, admission control, Prometheus-text metrics, and a
+// graceful drain path. It holds all daemon logic so cmd/mustd stays a
+// thin flag-parsing shell and everything here is unit-testable
+// in-process.
+package server
+
+import "must"
+
+// SearchRequest is the POST /v1/search body. Vectors maps modality
+// names to embeddings; modalities absent from the map are treated as
+// missing (their weight is forced to zero, §VII-B of the paper).
+type SearchRequest struct {
+	Vectors map[string][]float32 `json:"vectors"`
+	// K is the number of results (default 10).
+	K int `json:"k,omitempty"`
+	// L is the beam width l of Algorithm 2 (default max(4K, 100)).
+	L int `json:"l,omitempty"`
+	// Weights overrides the engine's per-modality weights by name for
+	// this query only.
+	Weights map[string]float32 `json:"weights,omitempty"`
+	// Patience enables adaptive early termination after this many
+	// non-improving hops (0 = full Algorithm 2).
+	Patience int `json:"patience,omitempty"`
+	// DisableOptimization turns off the Lemma 4 partial-IP early exit.
+	DisableOptimization bool `json:"disable_optimization,omitempty"`
+	// TimeoutMS bounds this request's wall-clock time; it is mapped to a
+	// context deadline. 0 uses the server default; values above the
+	// server maximum are clamped.
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+	// NoCache bypasses the result cache for this request (the response
+	// is still cached for later requests).
+	NoCache bool `json:"no_cache,omitempty"`
+}
+
+// SearchMatch is one result row of a SearchResponse.
+type SearchMatch struct {
+	ID         int64   `json:"id"`
+	Similarity float32 `json:"similarity"`
+	// ByModality decomposes Similarity into per-modality contributions
+	// ω_i²·IP_i keyed by modality name.
+	ByModality map[string]float32 `json:"by_modality,omitempty"`
+}
+
+// SearchResponse is the POST /v1/search reply.
+type SearchResponse struct {
+	Matches []SearchMatch `json:"matches"`
+	// QueryTimeMS is this request's server-side wall time in
+	// milliseconds, queueing and batching included.
+	QueryTimeMS float64 `json:"query_time_ms"`
+	// EngineTimeMS is the engine's own routing time for the sub-query.
+	EngineTimeMS float64 `json:"engine_time_ms"`
+	// Cached reports the response was served from the result cache.
+	Cached bool `json:"cached,omitempty"`
+	// BatchSize is how many concurrent requests rode in the coalesced
+	// engine batch that served this one (1 = alone; 0 when cached or
+	// batching is disabled).
+	BatchSize int `json:"batch_size,omitempty"`
+	// Stats reports the routing work the engine performed.
+	Stats SearchWork `json:"stats"`
+}
+
+// SearchWork mirrors must.SearchStats with stable JSON names.
+type SearchWork struct {
+	FullEvals    int `json:"full_evals"`
+	PartialSkips int `json:"partial_skips"`
+	Hops         int `json:"hops"`
+}
+
+// InsertRequest is the POST /v1/insert body: one object via Vectors, or
+// many via Objects (either may be used; IDs come back in order, Vectors
+// first).
+type InsertRequest struct {
+	Vectors map[string][]float32   `json:"vectors,omitempty"`
+	Objects []map[string][]float32 `json:"objects,omitempty"`
+}
+
+// InsertResponse returns the stable engine IDs of inserted objects.
+type InsertResponse struct {
+	IDs []int64 `json:"ids"`
+}
+
+// DeleteRequest is the POST /v1/delete body.
+type DeleteRequest struct {
+	IDs []int64 `json:"ids"`
+}
+
+// DeleteResponse reports how many objects were tombstoned.
+type DeleteResponse struct {
+	Deleted int `json:"deleted"`
+}
+
+// RebuildResponse is the POST /v1/rebuild reply.
+type RebuildResponse struct {
+	// Built distinguishes a first Build from a compacting Rebuild.
+	Built   bool    `json:"built"`
+	Objects int     `json:"objects"`
+	TookMS  float64 `json:"took_ms"`
+}
+
+// ModalityInfo describes one schema modality in /v1/stats.
+type ModalityInfo struct {
+	Name string `json:"name"`
+	Dim  int    `json:"dim"`
+}
+
+// ServerStats reports serving-tier counters in /v1/stats.
+type ServerStats struct {
+	CacheHits      uint64  `json:"cache_hits"`
+	CacheMisses    uint64  `json:"cache_misses"`
+	CacheHitRatio  float64 `json:"cache_hit_ratio"`
+	CacheEntries   int     `json:"cache_entries"`
+	Batches        uint64  `json:"batches"`
+	BatchedQueries uint64  `json:"batched_queries"`
+	AvgBatchSize   float64 `json:"avg_batch_size"`
+	InFlight       int64   `json:"in_flight"`
+	Rejected       uint64  `json:"rejected"`
+}
+
+// StatsResponse is the GET /v1/stats reply.
+type StatsResponse struct {
+	Schema  []ModalityInfo `json:"schema"`
+	Objects int            `json:"objects"`
+	Deleted int            `json:"deleted"`
+	Epoch   uint64         `json:"epoch"`
+	Built   bool           `json:"built"`
+	// Engine is the index-layer statistics (zero value until built).
+	Engine must.Stats  `json:"engine"`
+	Server ServerStats `json:"server"`
+}
+
+// ErrorResponse is the body of every non-2xx reply.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}

@@ -1,0 +1,211 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"must"
+)
+
+// ErrDraining is returned to requests that arrive after the server
+// began shutting down.
+var ErrDraining = errors.New("server draining")
+
+// batcher coalesces concurrent search requests into engine batches: the
+// first request to arrive opens a batch, which dispatches when either
+// maxBatch requests have joined or maxDelay has passed. One SearchEach
+// call then serves the whole batch — the read lock is taken once, each
+// worker keeps one pooled searcher hot across its stride, and the fused
+// kernel amortizes across requests — which is what turns 64 concurrent
+// HTTP requests into a handful of engine calls instead of 64
+// lock/pool round-trips racing each other.
+type batcher struct {
+	eng      *must.Engine
+	maxBatch int
+	maxDelay time.Duration
+	workers  int
+	// onBatch observes each dispatched batch's size (metrics hook).
+	onBatch func(size int)
+
+	in   chan *pending
+	stop chan struct{}
+	done chan struct{}
+
+	mu     sync.RWMutex
+	closed bool
+}
+
+type pending struct {
+	ctx context.Context
+	q   must.Query
+	// out is buffered (capacity 1) so the dispatcher never blocks on a
+	// caller that gave up waiting.
+	out chan batchResult
+}
+
+type batchResult struct {
+	resp *must.Response
+	size int
+	err  error
+}
+
+// newBatcher starts the dispatcher goroutine. maxBatch ≤ 0 defaults to
+// 64, maxDelay ≤ 0 to 1ms; workers ≤ 0 lets the engine pick.
+func newBatcher(eng *must.Engine, maxBatch int, maxDelay time.Duration, workers int, onBatch func(int)) *batcher {
+	if maxBatch <= 0 {
+		maxBatch = 64
+	}
+	if maxDelay <= 0 {
+		maxDelay = time.Millisecond
+	}
+	b := &batcher{
+		eng:      eng,
+		maxBatch: maxBatch,
+		maxDelay: maxDelay,
+		workers:  workers,
+		onBatch:  onBatch,
+		in:       make(chan *pending, 4*maxBatch),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	go b.run()
+	return b
+}
+
+// Search submits one query and waits for its slot of the coalesced
+// batch. It returns the engine response, the size of the batch the
+// query rode in, and an error. Cancellation of ctx returns promptly
+// even while the batch is still computing; the abandoned slot is
+// discarded by the dispatcher without blocking it.
+func (b *batcher) Search(ctx context.Context, q must.Query) (*must.Response, int, error) {
+	p := &pending{ctx: ctx, q: q, out: make(chan batchResult, 1)}
+	b.mu.RLock()
+	if b.closed {
+		b.mu.RUnlock()
+		return nil, 0, ErrDraining
+	}
+	// Submitting under the read lock pairs with Close's write lock:
+	// once closed is set, no new pending can enter b.in, so the final
+	// drain below cannot strand a request.
+	select {
+	case b.in <- p:
+		b.mu.RUnlock()
+	default:
+		b.mu.RUnlock()
+		// Queue full: the server is past its coalescing capacity.
+		// Admission control upstream should make this rare; fail fast
+		// rather than block the client behind an unbounded queue.
+		return nil, 0, ErrOverloaded
+	}
+	select {
+	case r := <-p.out:
+		return r.resp, r.size, r.err
+	case <-ctx.Done():
+		return nil, 0, ctx.Err()
+	}
+}
+
+// ErrOverloaded is returned when the batch queue is full.
+var ErrOverloaded = errors.New("server overloaded")
+
+// Close stops accepting requests, serves everything already queued, and
+// waits for the dispatcher to exit. Safe to call once.
+func (b *batcher) Close() {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return
+	}
+	b.closed = true
+	b.mu.Unlock()
+	close(b.stop)
+	<-b.done
+}
+
+func (b *batcher) run() {
+	defer close(b.done)
+	for {
+		var first *pending
+		select {
+		case first = <-b.in:
+		case <-b.stop:
+			b.drain()
+			return
+		}
+		batch := make([]*pending, 1, b.maxBatch)
+		batch[0] = first
+		timer := time.NewTimer(b.maxDelay)
+	collect:
+		for len(batch) < b.maxBatch {
+			select {
+			case p := <-b.in:
+				batch = append(batch, p)
+			case <-timer.C:
+				break collect
+			case <-b.stop:
+				break collect
+			}
+		}
+		timer.Stop()
+		b.dispatch(batch)
+	}
+}
+
+// drain serves whatever was queued before Close flipped the flag.
+func (b *batcher) drain() {
+	for {
+		batch := make([]*pending, 0, b.maxBatch)
+		for len(batch) < b.maxBatch {
+			select {
+			case p := <-b.in:
+				batch = append(batch, p)
+			default:
+				goto flush
+			}
+		}
+	flush:
+		if len(batch) == 0 {
+			return
+		}
+		b.dispatch(batch)
+	}
+}
+
+// dispatch answers one coalesced batch with a single SearchEach call.
+// Requests whose context is already dead are answered immediately and
+// excluded, so one cancelled client neither wastes engine work nor
+// poisons the rest of the batch.
+func (b *batcher) dispatch(batch []*pending) {
+	live := batch[:0]
+	for _, p := range batch {
+		if err := p.ctx.Err(); err != nil {
+			p.out <- batchResult{err: err}
+			continue
+		}
+		live = append(live, p)
+	}
+	if len(live) == 0 {
+		return
+	}
+	if b.onBatch != nil {
+		b.onBatch(len(live))
+	}
+	queries := make([]must.Query, len(live))
+	for i, p := range live {
+		queries[i] = p.q
+	}
+	// The batch deliberately runs under its own bounded context, not any
+	// request's: a client that cancels mid-batch gets its answer slot
+	// dropped (the select in Search already returned), but must not be
+	// able to cancel the neighbors it was coalesced with. Engine work per
+	// batch is bounded (≤ maxBatch short routing walks), so the deadline
+	// is a backstop, not a tuning knob.
+	bctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	resps, errs := b.eng.SearchEach(bctx, queries, b.workers)
+	cancel()
+	for i, p := range live {
+		p.out <- batchResult{resp: resps[i], size: len(live), err: errs[i]}
+	}
+}

@@ -1,0 +1,229 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"must"
+)
+
+const (
+	testImgDim = 24
+	testTxtDim = 12
+)
+
+func randVec(rng *rand.Rand, dim int) []float32 {
+	v := make([]float32, dim)
+	for i := range v {
+		v[i] = float32(rng.NormFloat64())
+	}
+	return v
+}
+
+// testEngine builds a small engine; returned queries[i]'s exact top
+// match is ids[i] (queries are the stored, normalized vectors).
+func testEngine(t testing.TB, n int) (*must.Engine, []must.Query, []int64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(42))
+	eng, err := must.NewEngine(must.Schema{
+		{Name: "image", Dim: testImgDim},
+		{Name: "text", Dim: testTxtDim},
+	}, must.EngineOptions{Build: must.BuildOptions{Gamma: 12, Seed: 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if _, err := eng.Insert(must.NamedVectors{
+			"image": randVec(rng, testImgDim),
+			"text":  randVec(rng, testTxtDim),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := eng.Build(); err != nil {
+		t.Fatal(err)
+	}
+	queries := make([]must.Query, 0, 64)
+	ids := make([]int64, 0, 64)
+	for i := 0; i < 64; i++ {
+		id := int64(rng.Intn(n))
+		o, err := eng.Object(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		queries = append(queries, must.Query{Vectors: o, K: 3})
+		ids = append(ids, id)
+	}
+	return eng, queries, ids
+}
+
+// TestBatcherCoalesces proves concurrent requests actually share
+// batches: with 32 goroutines submitting through a 1ms window, far
+// fewer than 32 batches dispatch, and every request still gets its own
+// right answer.
+func TestBatcherCoalesces(t *testing.T) {
+	eng, queries, ids := testEngine(t, 500)
+	var batches, queriesServed int
+	var mu sync.Mutex
+	b := newBatcher(eng, 64, 2*time.Millisecond, 0, func(size int) {
+		mu.Lock()
+		batches++
+		queriesServed += size
+		mu.Unlock()
+	})
+	defer b.Close()
+
+	const clients = 32
+	var wg sync.WaitGroup
+	sawShared := false
+	var sharedMu sync.Mutex
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for round := 0; round < 5; round++ {
+				i := (c + round*7) % len(queries)
+				resp, size, err := b.Search(context.Background(), queries[i])
+				if err != nil {
+					t.Errorf("client %d: %v", c, err)
+					return
+				}
+				if len(resp.Matches) == 0 || resp.Matches[0].ID != ids[i] {
+					t.Errorf("client %d round %d: wrong top match %+v, want %d",
+						c, round, resp.Matches, ids[i])
+					return
+				}
+				if size > 1 {
+					sharedMu.Lock()
+					sawShared = true
+					sharedMu.Unlock()
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	if queriesServed != clients*5 {
+		t.Fatalf("served %d queries, want %d", queriesServed, clients*5)
+	}
+	if batches >= queriesServed {
+		t.Errorf("no coalescing: %d batches for %d queries", batches, queriesServed)
+	}
+	if !sawShared {
+		t.Error("no request ever reported riding a shared batch")
+	}
+}
+
+// TestBatcherCancellationPromptAndIsolated: a request whose context is
+// cancelled returns promptly, and its batch companions are unharmed.
+func TestBatcherCancellation(t *testing.T) {
+	eng, queries, ids := testEngine(t, 500)
+	b := newBatcher(eng, 64, 50*time.Millisecond, 0, nil) // long window: requests wait in the batch
+	defer b.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	wg.Add(1)
+	errCh := make(chan error, 1)
+	start := time.Now()
+	go func() {
+		defer wg.Done()
+		_, _, err := b.Search(ctx, queries[0])
+		errCh <- err
+	}()
+	// Let the doomed request enter the batch window, then cancel it.
+	time.Sleep(5 * time.Millisecond)
+	cancel()
+	wg.Wait()
+	if err := <-errCh; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled request returned %v", err)
+	}
+	if waited := time.Since(start); waited > 40*time.Millisecond {
+		t.Errorf("cancelled request took %v — did not return promptly", waited)
+	}
+	// A healthy companion submitted into the same window still succeeds.
+	resp, _, err := b.Search(context.Background(), queries[1])
+	if err != nil {
+		t.Fatalf("companion failed after neighbor cancel: %v", err)
+	}
+	if resp.Matches[0].ID != ids[1] {
+		t.Fatalf("companion got wrong result %+v, want %d", resp.Matches[0], ids[1])
+	}
+}
+
+// TestBatcherPerQueryErrors: an invalid query in a shared batch fails
+// alone.
+func TestBatcherPerQueryErrors(t *testing.T) {
+	eng, queries, ids := testEngine(t, 400)
+	b := newBatcher(eng, 8, 20*time.Millisecond, 0, nil)
+	defer b.Close()
+
+	bad := must.Query{Vectors: must.NamedVectors{"sound": {1, 2, 3}}}
+	var wg sync.WaitGroup
+	results := make([]error, 4)
+	resps := make([]*must.Response, 4)
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			q := queries[i]
+			if i == 2 {
+				q = bad
+			}
+			resps[i], _, results[i] = b.Search(context.Background(), q)
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < 4; i++ {
+		if i == 2 {
+			if results[i] == nil {
+				t.Error("invalid query succeeded")
+			}
+			continue
+		}
+		if results[i] != nil {
+			t.Errorf("valid query %d poisoned by batch neighbor: %v", i, results[i])
+			continue
+		}
+		if resps[i].Matches[0].ID != ids[i] {
+			t.Errorf("query %d: wrong match %+v, want %d", i, resps[i].Matches[0], ids[i])
+		}
+	}
+}
+
+// TestBatcherCloseDrains: Close answers everything already queued, and
+// later submits are refused with ErrDraining.
+func TestBatcherCloseDrains(t *testing.T) {
+	eng, queries, _ := testEngine(t, 400)
+	b := newBatcher(eng, 4, 30*time.Millisecond, 0, nil)
+
+	const n = 16
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, _, errs[i] = b.Search(context.Background(), queries[i%len(queries)])
+		}(i)
+	}
+	time.Sleep(2 * time.Millisecond) // let most submits land in the queue
+	b.Close()
+	wg.Wait()
+	for i, err := range errs {
+		// Requests either completed or were refused at the door — none
+		// may hang or get a non-drain error.
+		if err != nil && !errors.Is(err, ErrDraining) {
+			t.Errorf("request %d: %v", i, err)
+		}
+	}
+	if _, _, err := b.Search(context.Background(), queries[0]); !errors.Is(err, ErrDraining) {
+		t.Fatalf("post-close search returned %v, want ErrDraining", err)
+	}
+	b.Close() // second Close is a no-op
+}

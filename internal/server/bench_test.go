@@ -1,0 +1,71 @@
+package server
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"must"
+)
+
+// benchFixture is built once and shared by every sub-benchmark so graph
+// construction does not pollute timings.
+var (
+	benchOnce    sync.Once
+	benchEng     *must.Engine
+	benchQueries []must.Query
+)
+
+func benchSetup(b *testing.B) (*must.Engine, []must.Query) {
+	b.Helper()
+	benchOnce.Do(func() {
+		benchEng, benchQueries, _ = testEngine(b, 2000)
+	})
+	return benchEng, benchQueries
+}
+
+// BenchmarkServePipeline measures the serving hot path at high offered
+// concurrency: direct is one engine call per request (the -no-batch
+// daemon mode); batched coalesces concurrent requests through the
+// dynamic batcher exactly as mustd serves them. ns/op is per served
+// query.
+func BenchmarkServePipeline(b *testing.B) {
+	eng, queries := benchSetup(b)
+
+	b.Run("direct", func(b *testing.B) {
+		b.SetParallelism(64)
+		b.ReportAllocs()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			i := 0
+			for pb.Next() {
+				q := queries[i%len(queries)]
+				i++
+				if _, err := eng.Search(context.Background(), q); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		})
+	})
+
+	b.Run("batched", func(b *testing.B) {
+		bat := newBatcher(eng, 64, time.Millisecond, 0, nil)
+		defer bat.Close()
+		b.SetParallelism(64)
+		b.ReportAllocs()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			i := 0
+			for pb.Next() {
+				q := queries[i%len(queries)]
+				i++
+				if _, _, err := bat.Search(context.Background(), q); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		})
+	})
+}

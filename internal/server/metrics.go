@@ -1,0 +1,228 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"must"
+)
+
+// Metrics is a dependency-free Prometheus registry scoped to what mustd
+// exports: request counters by endpoint and status code, latency
+// histograms by endpoint, the batch-size histogram, cache and admission
+// counters, and engine gauges sampled at scrape time. All increments
+// are atomic; the only lock guards lazy counter creation.
+type Metrics struct {
+	mu       sync.Mutex
+	requests map[requestKey]*atomic.Uint64
+	latency  map[string]*histogram
+
+	batchSize      *histogram
+	batches        atomic.Uint64
+	batchedQueries atomic.Uint64
+
+	inFlight atomic.Int64
+	rejected atomic.Uint64
+}
+
+type requestKey struct {
+	endpoint string
+	code     int
+}
+
+// latencyBuckets are upper bounds in seconds, 100µs to ~10s.
+var latencyBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// batchBuckets are upper bounds on the coalesced batch size.
+var batchBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256}
+
+// histogram is a fixed-bucket Prometheus histogram with atomic counters
+// (sum is stored as float64 bits updated by CAS).
+type histogram struct {
+	bounds  []float64
+	buckets []atomic.Uint64
+	count   atomic.Uint64
+	sumBits atomic.Uint64
+}
+
+func newHistogram(bounds []float64) *histogram {
+	return &histogram{bounds: bounds, buckets: make([]atomic.Uint64, len(bounds))}
+}
+
+func (h *histogram) observe(v float64) {
+	for i, b := range h.bounds {
+		if v <= b {
+			h.buckets[i].Add(1)
+			break
+		}
+	}
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+func (h *histogram) sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// NewMetrics returns an empty registry.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		requests:  make(map[requestKey]*atomic.Uint64),
+		latency:   make(map[string]*histogram),
+		batchSize: newHistogram(batchBuckets),
+	}
+}
+
+// ObserveRequest records one finished request.
+func (m *Metrics) ObserveRequest(endpoint string, code int, seconds float64) {
+	m.requestCounter(endpoint, code).Add(1)
+	m.latencyHistogram(endpoint).observe(seconds)
+}
+
+// ObserveBatch records one dispatched engine batch of the given size.
+func (m *Metrics) ObserveBatch(size int) {
+	m.batches.Add(1)
+	m.batchedQueries.Add(uint64(size))
+	m.batchSize.observe(float64(size))
+}
+
+func (m *Metrics) requestCounter(endpoint string, code int) *atomic.Uint64 {
+	key := requestKey{endpoint, code}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c := m.requests[key]
+	if c == nil {
+		c = &atomic.Uint64{}
+		m.requests[key] = c
+	}
+	return c
+}
+
+func (m *Metrics) latencyHistogram(endpoint string) *histogram {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h := m.latency[endpoint]
+	if h == nil {
+		h = newHistogram(latencyBuckets)
+		m.latency[endpoint] = h
+	}
+	return h
+}
+
+// BatchCounters returns dispatched batch totals (batches, queries).
+func (m *Metrics) BatchCounters() (uint64, uint64) {
+	return m.batches.Load(), m.batchedQueries.Load()
+}
+
+// WritePrometheus renders the registry — plus cache counters and engine
+// gauges sampled now — in Prometheus text exposition format.
+func (m *Metrics) WritePrometheus(w io.Writer, eng *must.Engine, cache *resultCache) {
+	// Request counters, sorted for deterministic scrapes.
+	m.mu.Lock()
+	reqKeys := make([]requestKey, 0, len(m.requests))
+	for k := range m.requests {
+		reqKeys = append(reqKeys, k)
+	}
+	latKeys := make([]string, 0, len(m.latency))
+	for k := range m.latency {
+		latKeys = append(latKeys, k)
+	}
+	m.mu.Unlock()
+	sort.Slice(reqKeys, func(i, j int) bool {
+		if reqKeys[i].endpoint != reqKeys[j].endpoint {
+			return reqKeys[i].endpoint < reqKeys[j].endpoint
+		}
+		return reqKeys[i].code < reqKeys[j].code
+	})
+	sort.Strings(latKeys)
+
+	fmt.Fprintln(w, "# HELP mustd_requests_total Requests served, by endpoint and status code.")
+	fmt.Fprintln(w, "# TYPE mustd_requests_total counter")
+	for _, k := range reqKeys {
+		fmt.Fprintf(w, "mustd_requests_total{endpoint=%q,code=\"%d\"} %d\n",
+			k.endpoint, k.code, m.requestCounter(k.endpoint, k.code).Load())
+	}
+
+	fmt.Fprintln(w, "# HELP mustd_request_seconds Request latency, by endpoint.")
+	fmt.Fprintln(w, "# TYPE mustd_request_seconds histogram")
+	for _, ep := range latKeys {
+		writeHistogram(w, "mustd_request_seconds", fmt.Sprintf("endpoint=%q", ep), m.latencyHistogram(ep))
+	}
+
+	fmt.Fprintln(w, "# HELP mustd_batch_size Coalesced queries per dispatched engine batch.")
+	fmt.Fprintln(w, "# TYPE mustd_batch_size histogram")
+	writeHistogram(w, "mustd_batch_size", "", m.batchSize)
+
+	hits, misses := cache.Counters()
+	fmt.Fprintln(w, "# HELP mustd_cache_hits_total Result-cache hits.")
+	fmt.Fprintln(w, "# TYPE mustd_cache_hits_total counter")
+	fmt.Fprintf(w, "mustd_cache_hits_total %d\n", hits)
+	fmt.Fprintln(w, "# HELP mustd_cache_misses_total Result-cache misses (stale-epoch evictions included).")
+	fmt.Fprintln(w, "# TYPE mustd_cache_misses_total counter")
+	fmt.Fprintf(w, "mustd_cache_misses_total %d\n", misses)
+	fmt.Fprintln(w, "# HELP mustd_cache_entries Live result-cache entries.")
+	fmt.Fprintln(w, "# TYPE mustd_cache_entries gauge")
+	fmt.Fprintf(w, "mustd_cache_entries %d\n", cache.Len())
+
+	fmt.Fprintln(w, "# HELP mustd_in_flight_requests Requests currently admitted.")
+	fmt.Fprintln(w, "# TYPE mustd_in_flight_requests gauge")
+	fmt.Fprintf(w, "mustd_in_flight_requests %d\n", m.inFlight.Load())
+	fmt.Fprintln(w, "# HELP mustd_rejected_total Requests rejected by admission control (429).")
+	fmt.Fprintln(w, "# TYPE mustd_rejected_total counter")
+	fmt.Fprintf(w, "mustd_rejected_total %d\n", m.rejected.Load())
+
+	// Engine gauges, sampled at scrape time.
+	fmt.Fprintln(w, "# HELP mustd_engine_objects Live (non-tombstoned) objects.")
+	fmt.Fprintln(w, "# TYPE mustd_engine_objects gauge")
+	fmt.Fprintf(w, "mustd_engine_objects %d\n", eng.Len())
+	fmt.Fprintln(w, "# HELP mustd_engine_deleted Tombstoned objects awaiting rebuild.")
+	fmt.Fprintln(w, "# TYPE mustd_engine_deleted gauge")
+	fmt.Fprintf(w, "mustd_engine_deleted %d\n", eng.Deleted())
+	fmt.Fprintln(w, "# HELP mustd_engine_epoch Engine mutation epoch.")
+	fmt.Fprintln(w, "# TYPE mustd_engine_epoch gauge")
+	fmt.Fprintf(w, "mustd_engine_epoch %d\n", eng.Epoch())
+	if st, err := eng.Stats(); err == nil {
+		fmt.Fprintln(w, "# HELP mustd_engine_edges Directed edges in the proximity graph.")
+		fmt.Fprintln(w, "# TYPE mustd_engine_edges gauge")
+		fmt.Fprintf(w, "mustd_engine_edges %d\n", st.Edges)
+		fmt.Fprintln(w, "# HELP mustd_engine_graph_bytes Graph memory footprint.")
+		fmt.Fprintln(w, "# TYPE mustd_engine_graph_bytes gauge")
+		fmt.Fprintf(w, "mustd_engine_graph_bytes %d\n", st.SizeBytes)
+		fmt.Fprintln(w, "# HELP mustd_engine_corpus_bytes Shared vector-store memory.")
+		fmt.Fprintln(w, "# TYPE mustd_engine_corpus_bytes gauge")
+		fmt.Fprintf(w, "mustd_engine_corpus_bytes %d\n", st.CorpusBytes)
+	}
+}
+
+func writeHistogram(w io.Writer, name, labels string, h *histogram) {
+	sep := ""
+	if labels != "" {
+		sep = ","
+	}
+	cum := uint64(0)
+	for i, b := range h.bounds {
+		cum += h.buckets[i].Load()
+		fmt.Fprintf(w, "%s_bucket{%s%sle=%q} %d\n", name, labels, sep,
+			strconv.FormatFloat(b, 'g', -1, 64), cum)
+	}
+	fmt.Fprintf(w, "%s_bucket{%s%sle=\"+Inf\"} %d\n", name, labels, sep, h.count.Load())
+	if labels != "" {
+		fmt.Fprintf(w, "%s_sum{%s} %g\n", name, labels, h.sum())
+		fmt.Fprintf(w, "%s_count{%s} %d\n", name, labels, h.count.Load())
+	} else {
+		fmt.Fprintf(w, "%s_sum %g\n", name, h.sum())
+		fmt.Fprintf(w, "%s_count %d\n", name, h.count.Load())
+	}
+}

@@ -1,0 +1,100 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"time"
+)
+
+// statusRecorder captures the status code a handler wrote so the
+// instrumentation wrapper can label its counters.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.code = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// endpoint wraps a handler with the serving-tier middleware stack:
+// method filtering, drain refusal, admission control (429 +
+// Retry-After when MaxInFlight requests are already admitted), the
+// in-flight gauge, and per-endpoint request/latency metrics. name is
+// the metrics label; admit selects whether the endpoint competes for
+// admission slots (observability endpoints never do — an overloaded
+// server must still answer /healthz and /metrics).
+func (s *Server) endpoint(name, method string, admit bool, h http.HandlerFunc) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		defer func() {
+			s.metrics.ObserveRequest(name, rec.code, time.Since(start).Seconds())
+		}()
+		if r.Method != method {
+			rec.Header().Set("Allow", method)
+			writeError(rec, http.StatusMethodNotAllowed, "method not allowed")
+			return
+		}
+		if s.draining.Load() {
+			writeError(rec, http.StatusServiceUnavailable, "server draining")
+			return
+		}
+		if admit {
+			select {
+			case s.sem <- struct{}{}:
+				s.metrics.inFlight.Add(1)
+				defer func() {
+					s.metrics.inFlight.Add(-1)
+					<-s.sem
+				}()
+			default:
+				// Admission control: shedding beats queueing — the client
+				// learns in microseconds that it should back off, instead
+				// of joining an unbounded queue that grows p99 for
+				// everyone.
+				s.metrics.rejected.Add(1)
+				rec.Header().Set("Retry-After", "1")
+				writeError(rec, http.StatusTooManyRequests, "too many in-flight requests")
+				return
+			}
+		}
+		h(rec, r)
+	})
+}
+
+// maxBodyBytes bounds request bodies (a 1M-object bulk insert belongs
+// in the bulk-load CLI, not one HTTP request).
+const maxBodyBytes = 32 << 20
+
+// decodeJSON strictly decodes one JSON document from the request body:
+// unknown fields and trailing garbage are errors, so client typos fail
+// loudly instead of silently searching with defaults.
+func decodeJSON(r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	if dec.More() {
+		return errTrailingBody
+	}
+	return nil
+}
+
+var errTrailingBody = errors.New("request body has trailing data after the JSON document")
+
+// writeError emits the uniform JSON error body.
+func writeError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(ErrorResponse{Error: msg})
+}
+
+// writeJSON emits a 200 JSON body.
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,394 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"must"
+)
+
+// Config tunes the serving tier; the zero value gets production-shaped
+// defaults (batching on, 64×1ms coalescing, 4096-entry cache, 256
+// in-flight requests, 2s default / 30s max per-request timeout).
+type Config struct {
+	// MaxBatch is the largest coalesced engine batch (default 64).
+	MaxBatch int
+	// BatchDelay is the longest a request waits for companions before
+	// its batch dispatches anyway (default 1ms).
+	BatchDelay time.Duration
+	// BatchWorkers bounds the engine workers per batch (0 = GOMAXPROCS).
+	BatchWorkers int
+	// DisableBatching serves every search with a direct engine call —
+	// the per-request dispatch path the load driver compares against.
+	DisableBatching bool
+	// CacheSize is the result-cache capacity in responses (default
+	// 4096; negative disables the cache).
+	CacheSize int
+	// MaxInFlight bounds admitted requests; excess get 429 +
+	// Retry-After (default 256).
+	MaxInFlight int
+	// DefaultTimeout applies when a request carries no timeout_ms
+	// (default 2s).
+	DefaultTimeout time.Duration
+	// MaxTimeout clamps request-supplied timeout_ms (default 30s).
+	MaxTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 64
+	}
+	if c.BatchDelay <= 0 {
+		c.BatchDelay = time.Millisecond
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 4096
+	}
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 256
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 2 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 30 * time.Second
+	}
+	return c
+}
+
+// Server is the HTTP serving tier over one must.Engine. Create with
+// New, mount Handler on an http.Server, and Close after draining.
+type Server struct {
+	eng     *must.Engine
+	cfg     Config
+	metrics *Metrics
+	cache   *resultCache
+	batcher *batcher
+	mux     *http.ServeMux
+	sem     chan struct{}
+
+	draining atomic.Bool
+
+	// rebuildMu serializes /v1/rebuild so two concurrent requests don't
+	// race Build vs Rebuild (the engine would reject one with a
+	// confusing error).
+	rebuildMu sync.Mutex
+
+	byName map[string]int
+	schema must.Schema
+}
+
+// New assembles a Server over an engine (which may be empty and
+// unbuilt: inserts accumulate and /v1/rebuild triggers the first
+// build).
+func New(eng *must.Engine, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		eng:     eng,
+		cfg:     cfg,
+		metrics: NewMetrics(),
+		cache:   newResultCache(cfg.CacheSize),
+		sem:     make(chan struct{}, cfg.MaxInFlight),
+		schema:  eng.Schema(),
+		byName:  make(map[string]int),
+	}
+	for i, m := range s.schema {
+		s.byName[m.Name] = i
+	}
+	if !cfg.DisableBatching {
+		s.batcher = newBatcher(eng, cfg.MaxBatch, cfg.BatchDelay, cfg.BatchWorkers, s.metrics.ObserveBatch)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/v1/search", s.endpoint("search", http.MethodPost, true, s.handleSearch))
+	mux.Handle("/v1/insert", s.endpoint("insert", http.MethodPost, true, s.handleInsert))
+	mux.Handle("/v1/delete", s.endpoint("delete", http.MethodPost, true, s.handleDelete))
+	mux.Handle("/v1/rebuild", s.endpoint("rebuild", http.MethodPost, true, s.handleRebuild))
+	mux.Handle("/v1/stats", s.endpoint("stats", http.MethodGet, false, s.handleStats))
+	mux.Handle("/healthz", http.HandlerFunc(s.handleHealthz))
+	mux.Handle("/metrics", s.endpoint("metrics", http.MethodGet, false, s.handleMetrics))
+	s.mux = mux
+	return s
+}
+
+// Handler returns the route multiplexer to mount on an http.Server.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Metrics exposes the registry (the daemon's snapshot loop and tests
+// read counters through it).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// StartDraining flips the server into drain mode: /healthz turns 503 so
+// load balancers stop routing here, and every new API request is
+// refused; requests already admitted run to completion. Call before
+// http.Server.Shutdown.
+func (s *Server) StartDraining() { s.draining.Store(true) }
+
+// Close stops the batcher after serving everything it already
+// accepted. Call after http.Server.Shutdown has drained the handlers.
+func (s *Server) Close() {
+	if s.batcher != nil {
+		s.batcher.Close()
+	}
+}
+
+// validateSearch checks a request against the schema so malformed
+// requests fail 400 deterministically before touching the engine.
+func (s *Server) validateSearch(req *SearchRequest) error {
+	if len(req.Vectors) == 0 {
+		return fmt.Errorf("vectors is empty")
+	}
+	for name, v := range req.Vectors {
+		i, ok := s.byName[name]
+		if !ok {
+			return fmt.Errorf("unknown modality %q (schema has %v)", name, s.schema.Names())
+		}
+		if len(v) != s.schema[i].Dim {
+			return fmt.Errorf("modality %q has dim %d, expects %d", name, len(v), s.schema[i].Dim)
+		}
+	}
+	for name := range req.Weights {
+		if _, ok := s.byName[name]; !ok {
+			return fmt.Errorf("weight override names unknown modality %q", name)
+		}
+	}
+	if req.K < 0 || req.L < 0 || req.Patience < 0 || req.TimeoutMS < 0 {
+		return fmt.Errorf("k, l, patience, timeout_ms must be non-negative")
+	}
+	return nil
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	var req SearchRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if err := s.validateSearch(&req); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+		if timeout > s.cfg.MaxTimeout {
+			timeout = s.cfg.MaxTimeout
+		}
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	q := must.Query{
+		Vectors:             req.Vectors,
+		K:                   req.K,
+		L:                   req.L,
+		Weights:             req.Weights,
+		Patience:            req.Patience,
+		DisableOptimization: req.DisableOptimization,
+	}
+
+	// The epoch is read before the search so a mutation that lands
+	// mid-flight stamps the cached entry stale, never fresh.
+	key := cacheKey(&req)
+	epoch := s.eng.Epoch()
+	if !req.NoCache {
+		if resp, ok := s.cache.Get(key, epoch); ok {
+			writeJSON(w, s.searchResponse(resp, start, 0, true))
+			return
+		}
+	}
+
+	var (
+		resp *must.Response
+		size int
+		err  error
+	)
+	if s.batcher != nil {
+		resp, size, err = s.batcher.Search(ctx, q)
+	} else {
+		resp, err = s.eng.Search(ctx, q)
+		if err == nil {
+			size = 1
+		}
+	}
+	if err != nil {
+		s.writeSearchError(w, err)
+		return
+	}
+	s.cache.Put(key, epoch, resp)
+	writeJSON(w, s.searchResponse(resp, start, size, false))
+}
+
+// searchResponse converts an engine response into the wire shape.
+func (s *Server) searchResponse(resp *must.Response, start time.Time, batchSize int, cached bool) *SearchResponse {
+	matches := make([]SearchMatch, len(resp.Matches))
+	for i, m := range resp.Matches {
+		matches[i] = SearchMatch{ID: m.ID, Similarity: m.Similarity, ByModality: m.ByModality}
+	}
+	return &SearchResponse{
+		Matches:      matches,
+		QueryTimeMS:  float64(time.Since(start)) / float64(time.Millisecond),
+		EngineTimeMS: float64(resp.Latency) / float64(time.Millisecond),
+		Cached:       cached,
+		BatchSize:    batchSize,
+		Stats: SearchWork{
+			FullEvals:    resp.Stats.FullEvals,
+			PartialSkips: resp.Stats.PartialSkips,
+			Hops:         resp.Stats.Hops,
+		},
+	}
+}
+
+func (s *Server) writeSearchError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, must.ErrNotBuilt):
+		writeError(w, http.StatusConflict, "index not built: insert objects and POST /v1/rebuild")
+	case errors.Is(err, context.DeadlineExceeded):
+		writeError(w, http.StatusGatewayTimeout, "search timed out")
+	case errors.Is(err, context.Canceled):
+		// The client went away; the code is moot but keep the counter
+		// honest with the nginx convention for client-closed requests.
+		writeError(w, 499, "client cancelled")
+	case errors.Is(err, ErrDraining):
+		writeError(w, http.StatusServiceUnavailable, "server draining")
+	case errors.Is(err, ErrOverloaded):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "batch queue full")
+	default:
+		writeError(w, http.StatusInternalServerError, err.Error())
+	}
+}
+
+func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
+	var req InsertRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	objects := req.Objects
+	if req.Vectors != nil {
+		objects = append([]map[string][]float32{req.Vectors}, objects...)
+	}
+	if len(objects) == 0 {
+		writeError(w, http.StatusBadRequest, "no objects to insert")
+		return
+	}
+	ids := make([]int64, 0, len(objects))
+	for i, o := range objects {
+		id, err := s.eng.Insert(o)
+		if err != nil {
+			// Inserts before the failure stay inserted; report both so
+			// the client can reconcile.
+			writeError(w, http.StatusBadRequest,
+				fmt.Sprintf("object %d: %v (inserted %d of %d)", i, err, len(ids), len(objects)))
+			return
+		}
+		ids = append(ids, id)
+	}
+	writeJSON(w, InsertResponse{IDs: ids})
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	var req DeleteRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if len(req.IDs) == 0 {
+		writeError(w, http.StatusBadRequest, "no ids to delete")
+		return
+	}
+	deleted := 0
+	for _, id := range req.IDs {
+		if err := s.eng.Delete(id); err != nil {
+			code := http.StatusNotFound
+			if errors.Is(err, must.ErrNotBuilt) {
+				code = http.StatusConflict
+			}
+			writeError(w, code, fmt.Sprintf("id %d: %v (deleted %d of %d)", id, err, deleted, len(req.IDs)))
+			return
+		}
+		deleted++
+	}
+	writeJSON(w, DeleteResponse{Deleted: deleted})
+}
+
+func (s *Server) handleRebuild(w http.ResponseWriter, r *http.Request) {
+	s.rebuildMu.Lock()
+	defer s.rebuildMu.Unlock()
+	start := time.Now()
+	_, statsErr := s.eng.Stats()
+	built := statsErr == nil
+	var err error
+	if built {
+		err = s.eng.Rebuild()
+	} else {
+		err = s.eng.Build()
+	}
+	if err != nil {
+		writeError(w, http.StatusConflict, err.Error())
+		return
+	}
+	writeJSON(w, RebuildResponse{
+		Built:   !built,
+		Objects: s.eng.Len(),
+		TookMS:  float64(time.Since(start)) / float64(time.Millisecond),
+	})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	st, err := s.eng.Stats()
+	built := err == nil
+	hits, misses := s.cache.Counters()
+	ratio := 0.0
+	if hits+misses > 0 {
+		ratio = float64(hits) / float64(hits+misses)
+	}
+	batches, batched := s.metrics.BatchCounters()
+	avg := 0.0
+	if batches > 0 {
+		avg = float64(batched) / float64(batches)
+	}
+	schema := make([]ModalityInfo, len(s.schema))
+	for i, m := range s.schema {
+		schema[i] = ModalityInfo{Name: m.Name, Dim: m.Dim}
+	}
+	writeJSON(w, StatsResponse{
+		Schema:  schema,
+		Objects: s.eng.Len(),
+		Deleted: s.eng.Deleted(),
+		Epoch:   s.eng.Epoch(),
+		Built:   built,
+		Engine:  st,
+		Server: ServerStats{
+			CacheHits:      hits,
+			CacheMisses:    misses,
+			CacheHitRatio:  ratio,
+			CacheEntries:   s.cache.Len(),
+			Batches:        batches,
+			BatchedQueries: batched,
+			AvgBatchSize:   avg,
+			InFlight:       s.metrics.inFlight.Load(),
+			Rejected:       s.metrics.rejected.Load(),
+		},
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metrics.WritePrometheus(w, s.eng, s.cache)
+}

@@ -529,37 +529,40 @@ func (ix *Index) Deleted() int {
 // resident copy of the vectors, FusedBytes is the transient weighted
 // build buffer (always 0 on a built index — it is released before Build
 // returns), and SizeBytes is the graph.
+// Stats is part of the serving API surface: /v1/stats marshals it
+// verbatim, so the JSON field names below are a stable contract —
+// rename a Go field if you must, but keep the tag.
 type Stats struct {
 	// Objects is the indexed object count.
-	Objects int
+	Objects int `json:"objects"`
 	// Edges is the directed edge count of the proximity graph.
-	Edges int
+	Edges int `json:"edges"`
 	// AvgDegree is the mean out-degree.
-	AvgDegree float64
+	AvgDegree float64 `json:"avg_degree"`
 	// SizeBytes is the graph memory footprint: the flat CSR edge array
 	// (4 B/edge) plus the per-vertex offsets (4 B/vertex) plus any live
 	// incremental-insert overlay (0 in steady state).
-	SizeBytes int64
+	SizeBytes int64 `json:"size_bytes"`
 	// GraphBytesPerEdge is SizeBytes normalized by Edges — ≈4.2 B/edge
 	// for a sealed CSR topology at the default degree bound (the
 	// slice-of-slices layout it replaced paid 4 B/edge + 24 B/vertex of
 	// headers on top).
-	GraphBytesPerEdge float64
+	GraphBytesPerEdge float64 `json:"graph_bytes_per_edge"`
 	// CorpusBytes is the memory committed to the shared vector store —
 	// the single copy of the corpus every layer views.
-	CorpusBytes int64
+	CorpusBytes int64 `json:"corpus_bytes"`
 	// RawVectorBytes is the payload lower bound: objects × concatenated
 	// dim × 4 bytes. CorpusBytes/RawVectorBytes ≈ 1 demonstrates the
 	// single-copy property (growable-arena slack keeps it ≤ ~1.2 even
 	// after incremental inserts).
-	RawVectorBytes int64
+	RawVectorBytes int64 `json:"raw_vector_bytes"`
 	// FusedBytes is the transient weighted-concatenation buffer used
 	// during construction; 0 once the index is built.
-	FusedBytes int64
+	FusedBytes int64 `json:"fused_bytes"`
 	// BuildTime is the wall-clock construction time in nanoseconds.
-	BuildTime int64
+	BuildTime int64 `json:"build_time_ns"`
 	// Algorithm names the construction pipeline.
-	Algorithm string
+	Algorithm string `json:"algorithm"`
 }
 
 // Stats reports index statistics.

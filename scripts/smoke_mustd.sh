@@ -1,0 +1,89 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for the mustd serving daemon: builds the
+# binaries, boots a daemon on a random port, walks the API (insert →
+# rebuild → search → stats → metrics → healthz), exercises the result
+# cache, then SIGTERMs and requires a clean drain plus a snapshot file.
+# CI runs this after unit tests; it needs nothing but Go and curl.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+workdir=$(mktemp -d)
+trap 'kill "$daemon_pid" 2>/dev/null || true; rm -rf "$workdir"' EXIT
+
+go build -o "$workdir/mustd" ./cmd/mustd
+go build -o "$workdir/mustload" ./cmd/mustload
+
+port=$(( (RANDOM % 20000) + 20000 ))
+addr="127.0.0.1:$port"
+"$workdir/mustd" -addr "$addr" -schema image:8,text:4 \
+  -snapshot "$workdir/engine.snap" >"$workdir/mustd.log" 2>&1 &
+daemon_pid=$!
+
+for _ in $(seq 1 50); do
+  curl -sf "http://$addr/healthz" >/dev/null 2>&1 && break
+  sleep 0.1
+done
+curl -sf "http://$addr/healthz" | grep -q ok || { echo "daemon never became healthy"; cat "$workdir/mustd.log"; exit 1; }
+
+fail() { echo "smoke: $*" >&2; cat "$workdir/mustd.log" >&2; exit 1; }
+
+# Search before build must 409 with a structured error.
+code=$(curl -s -o /dev/null -w '%{http_code}' -X POST "http://$addr/v1/search" \
+  -d '{"vectors":{"image":[1,0,0,0,0,0,0,0]}}')
+[ "$code" = 409 ] || fail "pre-build search returned $code, want 409"
+
+# Insert a batch, rebuild, and search for an exact stored object.
+curl -sf -X POST "http://$addr/v1/insert" -d '{
+  "objects": [
+    {"image":[1,0,0,0,0,0,0,0], "text":[1,0,0,0]},
+    {"image":[0,1,0,0,0,0,0,0], "text":[0,1,0,0]},
+    {"image":[0,0,1,0,0,0,0,0], "text":[0,0,1,0]},
+    {"image":[0,0,0,1,0,0,0,0], "text":[0,0,0,1]},
+    {"image":[0,0,0,0,1,0,0,0], "text":[1,1,0,0]},
+    {"image":[0,0,0,0,0,1,0,0], "text":[0,1,1,0]},
+    {"image":[0,0,0,0,0,0,1,0], "text":[0,0,1,1]},
+    {"image":[0,0,0,0,0,0,0,1], "text":[1,0,0,1]}
+  ]}' | grep -q '"ids"' || fail "insert failed"
+curl -sf -X POST "http://$addr/v1/rebuild" -d '{}' | grep -q '"built":true' || fail "rebuild failed"
+
+search='{"vectors":{"image":[0,1,0,0,0,0,0,0],"text":[0,1,0,0]},"k":2}'
+out=$(curl -sf -X POST "http://$addr/v1/search" -d "$search")
+echo "$out" | grep -q '"matches"' || fail "search returned no matches: $out"
+echo "$out" | grep -q '"by_modality"' || fail "per-modality breakdown missing: $out"
+echo "$out" | grep -q '"query_time_ms"' || fail "query_time_ms missing: $out"
+
+# The identical repeat must come from the result cache.
+curl -sf -X POST "http://$addr/v1/search" -d "$search" | grep -q '"cached":true' \
+  || fail "repeat search was not served from cache"
+
+curl -sf "http://$addr/v1/stats" | grep -q '"cache_hits":1' || fail "stats did not count the cache hit"
+metrics=$(curl -sf "http://$addr/metrics")
+echo "$metrics" | grep -q 'mustd_requests_total{endpoint="search",code="200"}' \
+  || fail "metrics missing search counter"
+echo "$metrics" | grep -q 'mustd_engine_objects 8' || fail "metrics missing engine gauge"
+
+# A short burst through the load driver (also proves the client works).
+"$workdir/mustload" -addr "$addr" -c 8 -duration 2s -k 2 >"$workdir/load.log" 2>&1 \
+  || fail "mustload run failed: $(cat "$workdir/load.log")"
+grep -q 'errors 0' "$workdir/load.log" || fail "load run saw errors: $(cat "$workdir/load.log")"
+
+# Graceful drain: SIGTERM → clean exit, 503 health during drain is
+# timing-dependent so only the exit path and snapshot are asserted.
+kill -TERM "$daemon_pid"
+wait "$daemon_pid" || fail "daemon exited non-zero on SIGTERM"
+grep -q "drained cleanly" "$workdir/mustd.log" || fail "no clean-drain log line"
+[ -s "$workdir/engine.snap" ] || fail "shutdown snapshot missing"
+
+# The snapshot restores: boot a second daemon from it and search.
+"$workdir/mustd" -addr "$addr" -load "$workdir/engine.snap" >"$workdir/mustd2.log" 2>&1 &
+daemon_pid=$!
+for _ in $(seq 1 50); do
+  curl -sf "http://$addr/healthz" >/dev/null 2>&1 && break
+  sleep 0.1
+done
+curl -sf -X POST "http://$addr/v1/search" -d "$search" | grep -q '"matches"' \
+  || fail "restored daemon cannot search"
+kill -TERM "$daemon_pid"
+wait "$daemon_pid" || fail "restored daemon exited non-zero"
+
+echo "mustd smoke test passed"
