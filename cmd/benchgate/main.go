@@ -71,6 +71,11 @@ var gatedByDefault = []*regexp.Regexp{
 	regexp.MustCompile(`^BenchmarkIndexMemory$`),
 	regexp.MustCompile(`^BenchmarkIndexLoad$`),
 	regexp.MustCompile(`^BenchmarkServePipeline/`),
+	// Sharded-engine scale path: parallel build and fan-out/merge search.
+	// The PR tier (n=16384) lives in BENCH_BASELINE.json; the nightly
+	// 256k tier (MUST_SCALE=1) gates against BENCH_BASELINE_SCALE.json.
+	regexp.MustCompile(`^BenchmarkShardedBuild/`),
+	regexp.MustCompile(`^BenchmarkShardedSearch/`),
 }
 
 // benchLine parses one `go test -bench` result line. Custom ReportMetric

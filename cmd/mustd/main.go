@@ -1,11 +1,17 @@
 // Command mustd is the MUST serving daemon: an HTTP/JSON front end over
-// one must.Engine with dynamic request batching, an epoch-invalidated
-// result cache, admission control, Prometheus metrics, and a graceful
-// SIGTERM drain. All serving logic lives in internal/server; this file
-// is flags, lifecycle, and snapshots.
+// a must.Service (one Engine, or a ShardedEngine with -shards) with
+// dynamic request batching, an epoch-invalidated result cache, admission
+// control, Prometheus metrics, and a graceful SIGTERM drain. All serving
+// logic lives in internal/server; this file is flags, lifecycle, and
+// snapshots.
 //
 //	mustd -schema image:512,text:384            # start empty, insert over HTTP
+//	mustd -schema image:512,text:384 -shards 8  # sharded: parallel build, fan-out search
 //	mustd -load engine.bin -snapshot engine.bin # restore, snapshot on shutdown
+//
+// -load sniffs the snapshot magic, so single and sharded snapshots both
+// restore with the same flag (a sharded snapshot restores a sharded
+// engine; -shards is ignored on restore).
 //
 // Endpoints: POST /v1/search /v1/insert /v1/delete /v1/rebuild,
 // GET /v1/stats /healthz /metrics.
@@ -41,6 +47,8 @@ func main() {
 		gamma = flag.Int("gamma", 30, "graph degree bound γ for builds of a fresh engine")
 		seed  = flag.Int64("seed", 0, "construction seed for builds of a fresh engine")
 
+		shards = flag.Int("shards", 1, "partition a fresh engine into this many shards (parallel build/rebuild, fan-out search); 1 = single engine")
+
 		maxBatch     = flag.Int("max-batch", 64, "largest coalesced engine batch")
 		batchDelay   = flag.Duration("batch-delay", time.Millisecond, "longest a search waits for batch companions")
 		batchWorkers = flag.Int("batch-workers", 0, "engine workers per batch (0 = GOMAXPROCS)")
@@ -52,7 +60,7 @@ func main() {
 		maxTimeout  = flag.Duration("max-timeout", 30*time.Second, "clamp for request-supplied timeout_ms")
 	)
 	flag.Parse()
-	if err := run(*addr, *schemaSpec, *load, *snapshot, *snapEvery, *gamma, *seed, server.Config{
+	if err := run(*addr, *schemaSpec, *load, *snapshot, *snapEvery, *gamma, *seed, *shards, server.Config{
 		MaxBatch:        *maxBatch,
 		BatchDelay:      *batchDelay,
 		BatchWorkers:    *batchWorkers,
@@ -87,28 +95,36 @@ func parseSchema(spec string) (must.Schema, error) {
 	return sc, sc.Validate()
 }
 
-func openEngine(load, schemaSpec string, gamma int, seed int64) (*must.Engine, error) {
+func openEngine(load, schemaSpec string, gamma int, seed int64, shards int) (must.Service, error) {
 	if load != "" {
 		start := time.Now()
-		eng, err := must.LoadEngine(load)
+		eng, err := must.LoadService(load)
 		if err != nil {
 			return nil, fmt.Errorf("loading %s: %w", load, err)
 		}
-		log.Printf("restored %d objects from %s in %v", eng.Len(), load, time.Since(start).Round(time.Millisecond))
+		kind := "engine"
+		if se, ok := eng.(*must.ShardedEngine); ok {
+			kind = fmt.Sprintf("%d-shard engine", se.ShardCount())
+		}
+		log.Printf("restored %s with %d objects from %s in %v", kind, eng.Len(), load, time.Since(start).Round(time.Millisecond))
 		return eng, nil
 	}
 	sc, err := parseSchema(schemaSpec)
 	if err != nil {
 		return nil, err
 	}
-	return must.NewEngine(sc, must.EngineOptions{
+	opts := must.EngineOptions{
 		Build: must.BuildOptions{Gamma: gamma, Seed: seed},
-	})
+	}
+	if shards > 1 {
+		return must.NewShardedEngine(sc, shards, opts)
+	}
+	return must.NewEngine(sc, opts)
 }
 
 // saveSnapshot writes the engine to path via a temp file + rename so a
 // crash mid-write never corrupts the previous snapshot.
-func saveSnapshot(eng *must.Engine, path string) error {
+func saveSnapshot(eng must.Service, path string) error {
 	tmp := path + ".tmp"
 	if err := eng.Save(tmp); err != nil {
 		os.Remove(tmp)
@@ -117,8 +133,8 @@ func saveSnapshot(eng *must.Engine, path string) error {
 	return os.Rename(tmp, path)
 }
 
-func run(addr, schemaSpec, load, snapshot string, snapEvery time.Duration, gamma int, seed int64, cfg server.Config) error {
-	eng, err := openEngine(load, schemaSpec, gamma, seed)
+func run(addr, schemaSpec, load, snapshot string, snapEvery time.Duration, gamma int, seed int64, shards int, cfg server.Config) error {
+	eng, err := openEngine(load, schemaSpec, gamma, seed, shards)
 	if err != nil {
 		return err
 	}

@@ -33,6 +33,10 @@ type statsResponse struct {
 	Schema  []modality `json:"schema"`
 	Objects int        `json:"objects"`
 	Built   bool       `json:"built"`
+	// Shards is non-empty when the target daemon runs a sharded engine.
+	Shards []struct {
+		State string `json:"state"`
+	} `json:"shards"`
 }
 
 type searchRequest struct {
@@ -160,7 +164,11 @@ func run(addr string, conc int, duration time.Duration, k, prime int, writeRatio
 	if len(st.Schema) == 0 {
 		return fmt.Errorf("daemon reports an empty schema")
 	}
-	fmt.Printf("target %s: schema %v, %d objects, built=%v\n", addr, st.Schema, st.Objects, st.Built)
+	if len(st.Shards) > 0 {
+		fmt.Printf("target %s: schema %v, %d objects, built=%v, %d shards\n", addr, st.Schema, st.Objects, st.Built, len(st.Shards))
+	} else {
+		fmt.Printf("target %s: schema %v, %d objects, built=%v\n", addr, st.Schema, st.Objects, st.Built)
+	}
 
 	rng := rand.New(rand.NewSource(seed))
 	if prime > 0 {

@@ -25,6 +25,12 @@ func defaultWorkers(n int) int {
 // ErrNotBuilt is returned by Engine operations that need a built index.
 var ErrNotBuilt = errors.New("must: engine index not built (call Build first)")
 
+// ErrUnknownID is wrapped by errors that reference an object ID the
+// engine has never handed out (or has already compacted away). Match it
+// with errors.Is; a ShardedEngine uses it to re-report shard-local
+// failures under the caller's global ID.
+var ErrUnknownID = errors.New("unknown object id")
+
 // EngineOptions configures NewEngine; the zero value means uniform
 // weights and the default build parameters (γ=30, ε=3, AlgoOurs).
 type EngineOptions struct {
@@ -187,7 +193,7 @@ func (e *Engine) Delete(id int64) error {
 	}
 	slot, ok := e.lookup[id]
 	if !ok {
-		return fmt.Errorf("must: unknown object id %d", id)
+		return fmt.Errorf("must: %w %d", ErrUnknownID, id)
 	}
 	if err := e.ix.Delete(slot); err != nil {
 		return err
@@ -223,7 +229,7 @@ func (e *Engine) Object(id int64) (NamedVectors, error) {
 	defer e.mu.RUnlock()
 	slot, ok := e.lookup[id]
 	if !ok {
-		return nil, fmt.Errorf("must: unknown object id %d", id)
+		return nil, fmt.Errorf("must: %w %d", ErrUnknownID, id)
 	}
 	out := make(NamedVectors, len(e.schema))
 	for i, m := range e.schema {
@@ -294,7 +300,7 @@ func (e *Engine) LearnWeights(queries []NamedVectors, positives []int64, cfg Wei
 		slot, ok := e.lookup[id]
 		if !ok {
 			e.mu.RUnlock()
-			return nil, fmt.Errorf("must: positive %d: unknown object id %d", i, id)
+			return nil, fmt.Errorf("must: positive %d: %w %d", i, ErrUnknownID, id)
 		}
 		internal[i] = slot
 	}

@@ -128,6 +128,10 @@ type StatsResponse struct {
 	// Engine is the index-layer statistics (zero value until built).
 	Engine must.Stats  `json:"engine"`
 	Server ServerStats `json:"server"`
+	// Shards carries per-shard build progress, sizes, and epochs when
+	// the backing service is a ShardedEngine; omitted for a single
+	// engine.
+	Shards []must.ShardInfo `json:"shards,omitempty"`
 }
 
 // ErrorResponse is the body of every non-2xx reply.

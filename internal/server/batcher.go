@@ -22,7 +22,7 @@ var ErrDraining = errors.New("server draining")
 // HTTP requests into a handful of engine calls instead of 64
 // lock/pool round-trips racing each other.
 type batcher struct {
-	eng      *must.Engine
+	eng      must.Service
 	maxBatch int
 	maxDelay time.Duration
 	workers  int
@@ -53,7 +53,7 @@ type batchResult struct {
 
 // newBatcher starts the dispatcher goroutine. maxBatch ≤ 0 defaults to
 // 64, maxDelay ≤ 0 to 1ms; workers ≤ 0 lets the engine pick.
-func newBatcher(eng *must.Engine, maxBatch int, maxDelay time.Duration, workers int, onBatch func(int)) *batcher {
+func newBatcher(eng must.Service, maxBatch int, maxDelay time.Duration, workers int, onBatch func(int)) *batcher {
 	if maxBatch <= 0 {
 		maxBatch = 64
 	}

@@ -128,7 +128,7 @@ func (m *Metrics) BatchCounters() (uint64, uint64) {
 
 // WritePrometheus renders the registry — plus cache counters and engine
 // gauges sampled now — in Prometheus text exposition format.
-func (m *Metrics) WritePrometheus(w io.Writer, eng *must.Engine, cache *resultCache) {
+func (m *Metrics) WritePrometheus(w io.Writer, eng must.Service, cache *resultCache) {
 	// Request counters, sorted for deterministic scrapes.
 	m.mu.Lock()
 	reqKeys := make([]requestKey, 0, len(m.requests))

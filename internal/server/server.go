@@ -61,10 +61,11 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Server is the HTTP serving tier over one must.Engine. Create with
+// Server is the HTTP serving tier over a must.Service (a single Engine
+// or a ShardedEngine). Create with
 // New, mount Handler on an http.Server, and Close after draining.
 type Server struct {
-	eng     *must.Engine
+	eng     must.Service
 	cfg     Config
 	metrics *Metrics
 	cache   *resultCache
@@ -86,7 +87,7 @@ type Server struct {
 // New assembles a Server over an engine (which may be empty and
 // unbuilt: inserts accumulate and /v1/rebuild triggers the first
 // build).
-func New(eng *must.Engine, cfg Config) *Server {
+func New(eng must.Service, cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
 		eng:     eng,
@@ -358,6 +359,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	for i, m := range s.schema {
 		schema[i] = ModalityInfo{Name: m.Name, Dim: m.Dim}
 	}
+	var shards []must.ShardInfo
+	if se, ok := s.eng.(*must.ShardedEngine); ok {
+		shards = se.ShardStats()
+	}
 	writeJSON(w, StatsResponse{
 		Schema:  schema,
 		Objects: s.eng.Len(),
@@ -376,6 +381,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			InFlight:       s.metrics.inFlight.Load(),
 			Rejected:       s.metrics.rejected.Load(),
 		},
+		Shards: shards,
 	})
 }
 

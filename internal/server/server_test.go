@@ -528,3 +528,116 @@ func TestMetricsHistogramRendering(t *testing.T) {
 		t.Error("two scrapes of an idle registry differ")
 	}
 }
+
+// The serving tier runs unchanged over a ShardedEngine: the result cache
+// keys on the summed per-shard epoch, so a mutation that touches only
+// one shard still invalidates stale entries, and /v1/stats reports the
+// per-shard breakdown.
+func TestServerShardedEngineCacheInvalidation(t *testing.T) {
+	const shards = 4
+	eng, err := must.NewShardedEngine(must.Schema{
+		{Name: "image", Dim: testImgDim},
+		{Name: "text", Dim: testTxtDim},
+	}, shards, must.EngineOptions{Build: must.BuildOptions{Gamma: 12, Seed: 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 200; i++ {
+		if _, err := eng.Insert(must.NamedVectors{
+			"image": randVec(rng, testImgDim),
+			"text":  randVec(rng, testTxtDim),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := eng.Build(); err != nil {
+		t.Fatal(err)
+	}
+	s := New(eng, Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer func() {
+		ts.Close()
+		s.Close()
+	}()
+
+	probe, err := eng.Object(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := &SearchRequest{Vectors: probe, K: 3}
+
+	resp, data := postJSON(t, ts.URL+"/v1/search", q)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("search: %d %s", resp.StatusCode, data)
+	}
+	var sr SearchResponse
+	if err := json.Unmarshal(data, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Cached || len(sr.Matches) != 3 || sr.Matches[0].ID != 7 {
+		t.Fatalf("first search %+v", sr)
+	}
+	var sr2 SearchResponse
+	_, data = postJSON(t, ts.URL+"/v1/search", q)
+	if err := json.Unmarshal(data, &sr2); err != nil {
+		t.Fatal(err)
+	}
+	if !sr2.Cached {
+		t.Fatal("identical request missed the cache")
+	}
+
+	// A single-shard mutation (one delete) must invalidate the cache.
+	epochBefore := eng.Epoch()
+	resp, data = postJSON(t, ts.URL+"/v1/delete", &DeleteRequest{IDs: []int64{190}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("delete: %d %s", resp.StatusCode, data)
+	}
+	if eng.Epoch() <= epochBefore {
+		t.Fatal("summed epoch did not advance on delete")
+	}
+	var sr3 SearchResponse
+	_, data = postJSON(t, ts.URL+"/v1/search", q)
+	if err := json.Unmarshal(data, &sr3); err != nil {
+		t.Fatal(err)
+	}
+	if sr3.Cached {
+		t.Fatal("stale cache entry served after single-shard delete")
+	}
+
+	// /v1/rebuild drives ShardedEngine.Rebuild (parallel compaction).
+	resp, data = postJSON(t, ts.URL+"/v1/rebuild", struct{}{})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("rebuild: %d %s", resp.StatusCode, data)
+	}
+	var rr RebuildResponse
+	if err := json.Unmarshal(data, &rr); err != nil {
+		t.Fatal(err)
+	}
+	// Built reports false for a compacting rebuild of an already-built
+	// engine; the live count excludes the deleted object.
+	if rr.Built || rr.Objects != 199 {
+		t.Fatalf("rebuild response %+v", rr)
+	}
+
+	// /v1/stats exposes the per-shard breakdown.
+	resp, data = getBody(t, ts.URL+"/v1/stats")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats: %d", resp.StatusCode)
+	}
+	var st StatsResponse
+	if err := json.Unmarshal(data, &st); err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Shards) != shards {
+		t.Fatalf("stats reported %d shards, want %d", len(st.Shards), shards)
+	}
+	for j, si := range st.Shards {
+		if si.State != "built" || si.Objects == 0 {
+			t.Fatalf("shard %d stats %+v", j, si)
+		}
+	}
+	if st.Engine.Objects != 199 {
+		t.Fatalf("aggregate objects %d, want 199", st.Engine.Objects)
+	}
+}

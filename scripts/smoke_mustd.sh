@@ -86,4 +86,55 @@ curl -sf -X POST "http://$addr/v1/search" -d "$search" | grep -q '"matches"' \
 kill -TERM "$daemon_pid"
 wait "$daemon_pid" || fail "restored daemon exited non-zero"
 
-echo "mustd smoke test passed"
+# --- Sharded pass: the same lifecycle against a 4-shard engine. The
+# serving tier is engine-agnostic, so everything above must work
+# unchanged; what is new here is per-shard stats, the MUSTSH1 snapshot,
+# and -load sniffing the sharded format without a -shards flag.
+"$workdir/mustd" -addr "$addr" -schema image:8,text:4 -shards 4 \
+  -snapshot "$workdir/sharded.snap" >"$workdir/mustd3.log" 2>&1 &
+daemon_pid=$!
+for _ in $(seq 1 50); do
+  curl -sf "http://$addr/healthz" >/dev/null 2>&1 && break
+  sleep 0.1
+done
+curl -sf "http://$addr/healthz" | grep -q ok || fail "sharded daemon never became healthy: $(cat "$workdir/mustd3.log")"
+
+curl -sf -X POST "http://$addr/v1/insert" -d '{
+  "objects": [
+    {"image":[1,0,0,0,0,0,0,0], "text":[1,0,0,0]},
+    {"image":[0,1,0,0,0,0,0,0], "text":[0,1,0,0]},
+    {"image":[0,0,1,0,0,0,0,0], "text":[0,0,1,0]},
+    {"image":[0,0,0,1,0,0,0,0], "text":[0,0,0,1]},
+    {"image":[0,0,0,0,1,0,0,0], "text":[1,1,0,0]},
+    {"image":[0,0,0,0,0,1,0,0], "text":[0,1,1,0]},
+    {"image":[0,0,0,0,0,0,1,0], "text":[0,0,1,1]},
+    {"image":[0,0,0,0,0,0,0,1], "text":[1,0,0,1]}
+  ]}' | grep -q '"ids"' || fail "sharded insert failed"
+curl -sf -X POST "http://$addr/v1/rebuild" -d '{}' | grep -q '"built":true' || fail "sharded rebuild failed"
+
+out=$(curl -sf -X POST "http://$addr/v1/search" -d "$search")
+echo "$out" | grep -q '"matches"' || fail "sharded search returned no matches: $out"
+stats=$(curl -sf "http://$addr/v1/stats")
+[ "$(echo "$stats" | grep -o '"state":"built"' | wc -l)" = 4 ] \
+  || fail "stats does not report 4 built shards: $stats"
+
+kill -TERM "$daemon_pid"
+wait "$daemon_pid" || fail "sharded daemon exited non-zero on SIGTERM"
+grep -q "drained cleanly" "$workdir/mustd3.log" || fail "sharded daemon: no clean-drain log line"
+[ -s "$workdir/sharded.snap" ] || fail "sharded shutdown snapshot missing"
+
+# Restore from the MUSTSH1 snapshot: no -shards flag, -load sniffs it.
+"$workdir/mustd" -addr "$addr" -load "$workdir/sharded.snap" >"$workdir/mustd4.log" 2>&1 &
+daemon_pid=$!
+for _ in $(seq 1 50); do
+  curl -sf "http://$addr/healthz" >/dev/null 2>&1 && break
+  sleep 0.1
+done
+curl -sf -X POST "http://$addr/v1/search" -d "$search" | grep -q '"matches"' \
+  || fail "restored sharded daemon cannot search: $(cat "$workdir/mustd4.log")"
+curl -sf "http://$addr/v1/stats" | grep -q '"state":"built"' \
+  || fail "restored sharded daemon lost shard stats"
+kill -TERM "$daemon_pid"
+wait "$daemon_pid" || fail "restored sharded daemon exited non-zero"
+
+echo "mustd smoke test passed (single + 4-shard)"

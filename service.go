@@ -1,0 +1,50 @@
+package must
+
+import (
+	"context"
+	"io"
+)
+
+// Service is the full engine surface shared by Engine and ShardedEngine:
+// everything a serving layer needs to ingest, maintain, search, and
+// snapshot a corpus without caring how it is partitioned. Code written
+// against Service runs unchanged over one graph or S shards; use
+// LoadService to restore whichever kind a snapshot holds.
+type Service interface {
+	// Schema and lifecycle.
+	Schema() Schema
+	Build() error
+	Rebuild() error
+	Stats() (Stats, error)
+
+	// Mutations. Epoch is a cache-invalidation key: it changes on every
+	// result-visible mutation (for a ShardedEngine it is the sum of the
+	// per-shard epochs, which is equally monotone).
+	Epoch() uint64
+	Len() int
+	Deleted() int
+	Insert(v NamedVectors) (int64, error)
+	InsertObject(o Object) (int64, error)
+	Delete(id int64) error
+	Object(id int64) (NamedVectors, error)
+
+	// Weights.
+	Weights() Weights
+	SetWeights(w Weights) error
+	LearnWeights(queries []NamedVectors, positives []int64, cfg WeightConfig) (Weights, error)
+
+	// Search.
+	Search(ctx context.Context, q Query) (*Response, error)
+	SearchEach(ctx context.Context, queries []Query, workers int) ([]*Response, []error)
+	SearchBatch(ctx context.Context, queries []Query, workers int) ([]*Response, error)
+	ExactSearch(ctx context.Context, q Query) (*Response, error)
+
+	// Persistence.
+	SaveTo(w io.Writer) error
+	Save(path string) error
+}
+
+var (
+	_ Service = (*Engine)(nil)
+	_ Service = (*ShardedEngine)(nil)
+)

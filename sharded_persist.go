@@ -1,0 +1,224 @@
+package must
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"sync/atomic"
+
+	"must/internal/shard"
+)
+
+// MUSTSH1 sharded container: a small header followed by one embedded
+// MUSTEG1 engine blob per shard, each preceded by its byte length.
+//
+//	magic   [8]byte  "MUSTSH1\n"
+//	shards  uint32   shard count S (1..shard.MaxShards)
+//	rr      uint64   round-robin insert cursor
+//	S × { size uint64; blob [size]byte }   MUSTEG1 blobs, shard order
+//
+// The explicit per-blob length exists because ReadEngine buffers its
+// reader internally (its read-ahead would otherwise consume bytes of the
+// next shard); it also lets LoadShardedEngine skip across the file to
+// compute section offsets and load every shard in parallel.
+var shMagic = [8]byte{'M', 'U', 'S', 'T', 'S', 'H', '1', '\n'}
+
+// SaveTo serializes the sharded engine to w in the MUSTSH1 container
+// format. One shard's serialized blob is buffered in memory at a time
+// (≈1/S of the corpus). Each shard snapshots under its own read lock, so
+// saving overlaps serving; for a point-in-time snapshot across shards,
+// quiesce writes first (the mustd drain path does).
+func (s *ShardedEngine) SaveTo(w io.Writer) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if _, err := w.Write(shMagic[:]); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(s.shards))); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, s.rr.Load()); err != nil {
+		return err
+	}
+	var buf bytes.Buffer
+	for j, e := range s.shards {
+		buf.Reset()
+		if err := e.SaveTo(&buf); err != nil {
+			return fmt.Errorf("must: shard %d: %w", j, err)
+		}
+		if err := binary.Write(w, binary.LittleEndian, uint64(buf.Len())); err != nil {
+			return err
+		}
+		if _, err := w.Write(buf.Bytes()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Save writes the sharded engine to the file at path.
+func (s *ShardedEngine) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := s.SaveTo(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// readShardedHeader validates the MUSTSH1 magic and returns (S, rr).
+func readShardedHeader(r io.Reader) (int, uint64, error) {
+	var got [8]byte
+	if _, err := io.ReadFull(r, got[:]); err != nil {
+		return 0, 0, fmt.Errorf("must: reading sharded magic: %w", err)
+	}
+	if got != shMagic {
+		return 0, 0, fmt.Errorf("must: bad sharded engine magic %q", got[:])
+	}
+	var n uint32
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return 0, 0, fmt.Errorf("must: reading shard count: %w", err)
+	}
+	if err := shard.Validate(int(n)); err != nil {
+		return 0, 0, fmt.Errorf("must: %w", err)
+	}
+	var rr uint64
+	if err := binary.Read(r, binary.LittleEndian, &rr); err != nil {
+		return 0, 0, fmt.Errorf("must: reading insert cursor: %w", err)
+	}
+	return int(n), rr, nil
+}
+
+// assembleSharded wires loaded per-shard engines back into a
+// ShardedEngine, rejecting blobs whose schemas disagree.
+func assembleSharded(shards []*Engine, rr uint64) (*ShardedEngine, error) {
+	s := &ShardedEngine{
+		shards:  shards,
+		shardMu: make([]sync.Mutex, len(shards)),
+		state:   make([]atomic.Uint32, len(shards)),
+	}
+	s.schema = shards[0].Schema()
+	want := s.schema.Names()
+	for j, e := range shards {
+		sc := e.Schema()
+		if len(sc) != len(s.schema) {
+			return nil, fmt.Errorf("must: shard %d schema has %d modalities, shard 0 has %d", j, len(sc), len(s.schema))
+		}
+		for i, m := range sc {
+			if m.Name != want[i] || m.Dim != s.schema[i].Dim {
+				return nil, fmt.Errorf("must: shard %d schema modality %d (%s/%d) disagrees with shard 0 (%s/%d)",
+					j, i, m.Name, m.Dim, want[i], s.schema[i].Dim)
+			}
+		}
+		if e.ix != nil {
+			s.state[j].Store(uint32(ShardBuilt))
+			s.builtShards.Add(1)
+		}
+	}
+	s.rr.Store(rr)
+	return s, nil
+}
+
+// ReadShardedEngine deserializes a MUSTSH1 container from a stream,
+// loading shards sequentially. Prefer LoadShardedEngine for files — it
+// loads shards in parallel.
+func ReadShardedEngine(r io.Reader) (*ShardedEngine, error) {
+	n, rr, err := readShardedHeader(r)
+	if err != nil {
+		return nil, err
+	}
+	shards := make([]*Engine, n)
+	for j := range shards {
+		var size uint64
+		if err := binary.Read(r, binary.LittleEndian, &size); err != nil {
+			return nil, fmt.Errorf("must: shard %d: reading blob size: %w", j, err)
+		}
+		lr := io.LimitReader(r, int64(size))
+		e, err := ReadEngine(lr)
+		if err != nil {
+			return nil, fmt.Errorf("must: shard %d: %w", j, err)
+		}
+		// ReadEngine's internal buffering may leave unread bytes inside
+		// the blob region; drain them so the next shard starts aligned.
+		if _, err := io.Copy(io.Discard, lr); err != nil {
+			return nil, fmt.Errorf("must: shard %d: %w", j, err)
+		}
+		shards[j] = e
+	}
+	return assembleSharded(shards, rr)
+}
+
+// LoadShardedEngine reads a MUSTSH1 container from the file at path,
+// loading all shards in parallel (each from its own file section).
+func LoadShardedEngine(path string) (*ShardedEngine, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	n, rr, err := readShardedHeader(f)
+	if err != nil {
+		return nil, err
+	}
+	// Walk the size prefixes to compute each shard's file section.
+	offsets := make([]int64, n)
+	sizes := make([]int64, n)
+	off := int64(len(shMagic) + 4 + 8)
+	var szBuf [8]byte
+	for j := 0; j < n; j++ {
+		if _, err := f.ReadAt(szBuf[:], off); err != nil {
+			return nil, fmt.Errorf("must: shard %d: reading blob size: %w", j, err)
+		}
+		size := int64(binary.LittleEndian.Uint64(szBuf[:]))
+		if size < 0 || off+8+size > fi.Size() {
+			return nil, fmt.Errorf("must: shard %d: blob size %d exceeds file", j, size)
+		}
+		offsets[j] = off + 8
+		sizes[j] = size
+		off += 8 + size
+	}
+	shards := make([]*Engine, n)
+	err = shard.Do(n, 0, func(j int) error {
+		e, err := ReadEngine(io.NewSectionReader(f, offsets[j], sizes[j]))
+		if err != nil {
+			return fmt.Errorf("must: shard %d: %w", j, err)
+		}
+		shards[j] = e
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return assembleSharded(shards, rr)
+}
+
+// LoadService reads an engine snapshot from the file at path, sniffing
+// the container magic: MUSTSH1 loads a ShardedEngine (shards in
+// parallel), MUSTEG1 a single Engine. This is what serving layers use to
+// restore whichever engine kind produced the snapshot.
+func LoadService(path string) (Service, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	var got [8]byte
+	_, rerr := io.ReadFull(f, got[:])
+	f.Close()
+	if rerr != nil {
+		return nil, fmt.Errorf("must: reading snapshot magic: %w", rerr)
+	}
+	if got == shMagic {
+		return LoadShardedEngine(path)
+	}
+	return LoadEngine(path)
+}

@@ -1,0 +1,627 @@
+package must
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+var shardedSchema = Schema{{Name: "a", Dim: 24}, {Name: "b", Dim: 12}}
+
+// shardedObjects generates a deterministic corpus in insertion order.
+func shardedObjects(n int, seed int64) []Object {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Object, n)
+	for i := range out {
+		out[i] = Object{randVec(rng, 24), randVec(rng, 12)}
+	}
+	return out
+}
+
+func shardedQueries(nq int, seed int64) []NamedVectors {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]NamedVectors, nq)
+	for i := range out {
+		out[i] = NamedVectors{"a": randVec(rng, 24), "b": randVec(rng, 12)}
+	}
+	return out
+}
+
+// newSharded builds an S-shard engine over objs in insertion order.
+func newSharded(t *testing.T, objs []Object, shards int, build bool) *ShardedEngine {
+	t.Helper()
+	s, err := NewShardedEngine(shardedSchema, shards, EngineOptions{
+		Build: BuildOptions{Gamma: 12, Seed: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, o := range objs {
+		id, err := s.InsertObject(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if id != int64(i) {
+			t.Fatalf("insert %d assigned global ID %d (want dense sequence)", i, id)
+		}
+	}
+	if build {
+		if err := s.Build(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s
+}
+
+func newSingle(t *testing.T, objs []Object, build bool) *Engine {
+	t.Helper()
+	e, err := NewEngine(shardedSchema, EngineOptions{
+		Build: BuildOptions{Gamma: 12, Seed: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range objs {
+		if _, err := e.InsertObject(o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if build {
+		if err := e.Build(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return e
+}
+
+// Exact search over the same corpus must return identical top-k IDs and
+// scores regardless of the shard count: partitioning never changes an
+// exhaustive scan, and the dense round-robin IDs line up with the single
+// engine's.
+func TestShardedExactEquivalence(t *testing.T) {
+	objs := shardedObjects(300, 11)
+	queries := shardedQueries(20, 12)
+	single := newSingle(t, objs, false)
+	for _, S := range []int{1, 4, 7} {
+		sharded := newSharded(t, objs, S, false)
+		for qi, q := range queries {
+			want, err := single.ExactSearch(context.Background(), Query{Vectors: q, K: 10})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := sharded.ExactSearch(context.Background(), Query{Vectors: q, K: 10})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got.Matches) != len(want.Matches) {
+				t.Fatalf("S=%d q=%d: %d matches, want %d", S, qi, len(got.Matches), len(want.Matches))
+			}
+			for i := range want.Matches {
+				w, g := want.Matches[i], got.Matches[i]
+				if g.ID != w.ID || g.Similarity != w.Similarity {
+					t.Fatalf("S=%d q=%d rank %d: got (%d, %v), want (%d, %v)",
+						S, qi, i, g.ID, g.Similarity, w.ID, w.Similarity)
+				}
+				for name, ws := range w.ByModality {
+					if g.ByModality[name] != ws {
+						t.Fatalf("S=%d q=%d rank %d: modality %s breakdown %v, want %v",
+							S, qi, i, name, g.ByModality[name], ws)
+					}
+				}
+			}
+			if got.Stats.FullEvals != want.Stats.FullEvals {
+				t.Fatalf("S=%d q=%d: scanned %d objects, want %d", S, qi, got.Stats.FullEvals, want.Stats.FullEvals)
+			}
+		}
+	}
+}
+
+// ANN recall at equal per-shard L must be at least the single engine's
+// (each shard examines up to L candidates of a smaller corpus, so the
+// union can only cover more of the true top-k), minus a small tolerance
+// for the different graphs.
+func TestShardedRecallParity(t *testing.T) {
+	const n, nq, k = 1500, 30, 10
+	objs := shardedObjects(n, 21)
+	queries := shardedQueries(nq, 22)
+	single := newSingle(t, objs, true)
+
+	recall := func(got, truth *Response) float64 {
+		inTruth := make(map[int64]bool, len(truth.Matches))
+		for _, m := range truth.Matches {
+			inTruth[m.ID] = true
+		}
+		hit := 0
+		for _, m := range got.Matches {
+			if inTruth[m.ID] {
+				hit++
+			}
+		}
+		return float64(hit) / float64(len(truth.Matches))
+	}
+
+	baseline := 0.0
+	truths := make([]*Response, nq)
+	for qi, q := range queries {
+		truth, err := single.ExactSearch(context.Background(), Query{Vectors: q, K: k})
+		if err != nil {
+			t.Fatal(err)
+		}
+		truths[qi] = truth
+		got, err := single.Search(context.Background(), Query{Vectors: q, K: k, L: 60})
+		if err != nil {
+			t.Fatal(err)
+		}
+		baseline += recall(got, truth)
+	}
+	baseline /= nq
+
+	for _, S := range []int{4, 7} {
+		sharded := newSharded(t, objs, S, true)
+		sum := 0.0
+		for qi, q := range queries {
+			got, err := sharded.Search(context.Background(), Query{Vectors: q, K: k, L: 60})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum += recall(got, truths[qi])
+		}
+		r := sum / nq
+		t.Logf("S=%d recall@%d %.3f (single %.3f)", S, k, r, baseline)
+		if r < baseline-0.05 {
+			t.Errorf("S=%d recall@%d %.3f below single-engine %.3f - 0.05", S, k, r, baseline)
+		}
+	}
+}
+
+func TestShardedDeleteAndFilterUseGlobalIDs(t *testing.T) {
+	objs := shardedObjects(120, 31)
+	s := newSharded(t, objs, 4, true)
+
+	// Filter sees global IDs.
+	q := Query{Vectors: NamedVectors{"a": objs[6][0], "b": objs[6][1]}, K: 20,
+		Filter: func(id int64) bool { return id%2 == 0 }}
+	resp, err := s.Search(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Matches) == 0 {
+		t.Fatal("filtered search returned nothing")
+	}
+	for _, m := range resp.Matches {
+		if m.ID%2 != 0 {
+			t.Fatalf("filter leaked odd global ID %d", m.ID)
+		}
+	}
+
+	// Delete routes by global ID and excludes the object from results.
+	if err := s.Delete(6); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = s.Search(context.Background(), Query{Vectors: NamedVectors{"a": objs[6][0], "b": objs[6][1]}, K: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range resp.Matches {
+		if m.ID == 6 {
+			t.Fatal("deleted object still in results")
+		}
+	}
+
+	// Unknown IDs report the caller's global ID and match ErrUnknownID.
+	err = s.Delete(999_999)
+	if !errors.Is(err, ErrUnknownID) {
+		t.Fatalf("unknown delete: %v", err)
+	}
+	if err.Error() != "must: unknown object id 999999" {
+		t.Fatalf("unknown delete message: %q", err.Error())
+	}
+	if _, err := s.Object(-3); !errors.Is(err, ErrUnknownID) {
+		t.Fatalf("negative object id: %v", err)
+	}
+}
+
+// Build with fewer objects than shards leaves the empty shards pending;
+// the first insert routed to a pending shard builds it lazily so the
+// object is immediately searchable, like a post-Build insert on a single
+// engine.
+func TestShardedLazyBuildOnInsert(t *testing.T) {
+	objs := shardedObjects(10, 41)
+	s := newSharded(t, objs[:2], 4, true)
+
+	states := func() map[string]int {
+		m := map[string]int{}
+		for _, si := range s.ShardStats() {
+			m[si.State]++
+		}
+		return m
+	}
+	if st := states(); st["built"] != 2 || st["pending"] != 2 {
+		t.Fatalf("after partial build: %v", st)
+	}
+	for i, o := range objs[2:] {
+		id, err := s.InsertObject(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if id != int64(2+i) {
+			t.Fatalf("post-build insert got ID %d, want %d", id, 2+i)
+		}
+	}
+	if st := states(); st["built"] != 4 {
+		t.Fatalf("after lazy builds: %v", st)
+	}
+	// Every object, including ones inserted into lazily-built shards, is
+	// reachable.
+	for i, o := range objs {
+		resp, err := s.Search(context.Background(), Query{Vectors: NamedVectors{"a": o[0], "b": o[1]}, K: len(objs)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		found := false
+		for _, m := range resp.Matches {
+			if m.ID == int64(i) {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("object %d not reachable", i)
+		}
+	}
+}
+
+// Rebuild compacts tombstones shard by shard; a shard whose objects are
+// all tombstoned is skipped rather than emptied.
+func TestShardedRebuildCompacts(t *testing.T) {
+	const S = 4
+	objs := shardedObjects(40, 51)
+	s := newSharded(t, objs, S, true)
+
+	// Tombstone all of shard 1 (ids ≡ 1 mod S) and a few others.
+	for id := int64(1); id < 40; id += S {
+		if err := s.Delete(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Delete(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete(4); err != nil {
+		t.Fatal(err)
+	}
+	wantLive := 40 - 10 - 2
+	if got := s.Len(); got != wantLive {
+		t.Fatalf("live %d, want %d", got, wantLive)
+	}
+	if err := s.Rebuild(); err != nil {
+		t.Fatal(err)
+	}
+	// Shards 0,2,3 compacted; shard 1 skipped with its 10 tombstones.
+	if got := s.Deleted(); got != 10 {
+		t.Fatalf("tombstones after rebuild %d, want 10 (all-dead shard skipped)", got)
+	}
+	if got := s.Len(); got != wantLive {
+		t.Fatalf("live after rebuild %d, want %d", got, wantLive)
+	}
+	// Surviving IDs stay stable and searchable; deleted ones stay gone.
+	resp, err := s.Search(context.Background(), Query{Vectors: NamedVectors{"a": objs[2][0], "b": objs[2][1]}, K: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int64]bool{}
+	for _, m := range resp.Matches {
+		seen[m.ID] = true
+	}
+	if !seen[2] {
+		t.Fatal("surviving object 2 unreachable after rebuild")
+	}
+	for _, dead := range []int64{0, 1, 4, 5} {
+		if seen[dead] {
+			t.Fatalf("deleted object %d resurfaced after rebuild", dead)
+		}
+	}
+
+	// Per-shard rebuild hook: out-of-range is an error, in-range compacts.
+	if err := s.RebuildShard(S); err == nil {
+		t.Fatal("RebuildShard out of range accepted")
+	}
+	if err := s.RebuildShard(0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The summed epoch changes on every mutation, and a mutation bumps only
+// the owning shard's epoch.
+func TestShardedEpochPerShard(t *testing.T) {
+	objs := shardedObjects(20, 61)
+	s := newSharded(t, objs, 4, true)
+	before := s.Epochs()
+	sumBefore := s.Epoch()
+	// Insert 20 routes to shard 20 % 4 = 0.
+	if _, err := s.InsertObject(objs[0]); err != nil {
+		t.Fatal(err)
+	}
+	after := s.Epochs()
+	if after[0] <= before[0] {
+		t.Fatalf("owning shard epoch did not advance: %v -> %v", before, after)
+	}
+	for j := 1; j < 4; j++ {
+		if after[j] != before[j] {
+			t.Fatalf("shard %d epoch moved on foreign insert: %v -> %v", j, before, after)
+		}
+	}
+	if s.Epoch() <= sumBefore {
+		t.Fatal("summed epoch did not advance")
+	}
+}
+
+func shardedEqualResults(t *testing.T, a, b *ShardedEngine, queries []NamedVectors) {
+	t.Helper()
+	for qi, q := range queries {
+		ra, err := a.Search(context.Background(), Query{Vectors: q, K: 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rb, err := b.Search(context.Background(), Query{Vectors: q, K: 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ra.Matches) != len(rb.Matches) {
+			t.Fatalf("q=%d: %d vs %d matches", qi, len(ra.Matches), len(rb.Matches))
+		}
+		for i := range ra.Matches {
+			if ra.Matches[i].ID != rb.Matches[i].ID || ra.Matches[i].Similarity != rb.Matches[i].Similarity {
+				t.Fatalf("q=%d rank %d: (%d,%v) vs (%d,%v)", qi, i,
+					ra.Matches[i].ID, ra.Matches[i].Similarity, rb.Matches[i].ID, rb.Matches[i].Similarity)
+			}
+		}
+	}
+}
+
+func TestShardedPersistRoundTrip(t *testing.T) {
+	objs := shardedObjects(90, 71)
+	queries := shardedQueries(10, 72)
+	s := newSharded(t, objs, 3, true)
+	if err := s.Delete(5); err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(t.TempDir(), "sharded.bin")
+	if err := s.Save(path); err != nil {
+		t.Fatal(err)
+	}
+
+	// Parallel file load.
+	loaded, err := LoadShardedEngine(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.ShardCount() != 3 || loaded.Len() != s.Len() || loaded.Deleted() != s.Deleted() {
+		t.Fatalf("loaded shape: shards=%d len=%d deleted=%d", loaded.ShardCount(), loaded.Len(), loaded.Deleted())
+	}
+	shardedEqualResults(t, s, loaded, queries)
+
+	// Sequential stream load agrees.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamed, err := ReadShardedEngine(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	shardedEqualResults(t, s, streamed, queries)
+
+	// The round-robin cursor survives: the next insert lands on the same
+	// shard and gets the same global ID in both engines.
+	idLive, err := s.InsertObject(objs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	idLoaded, err := loaded.InsertObject(objs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idLive != idLoaded {
+		t.Fatalf("post-load insert ID %d, live engine %d", idLoaded, idLive)
+	}
+
+	// LoadService sniffs the container magic for both kinds.
+	svc, err := LoadService(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := svc.(*ShardedEngine); !ok {
+		t.Fatalf("LoadService(MUSTSH1) returned %T", svc)
+	}
+	single := newSingle(t, objs[:30], true)
+	singlePath := filepath.Join(t.TempDir(), "single.bin")
+	if err := single.Save(singlePath); err != nil {
+		t.Fatal(err)
+	}
+	svc, err = LoadService(singlePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := svc.(*Engine); !ok {
+		t.Fatalf("LoadService(MUSTEG1) returned %T", svc)
+	}
+}
+
+func TestShardedPersistCorruptHeader(t *testing.T) {
+	objs := shardedObjects(30, 81)
+	s := newSharded(t, objs, 3, true)
+	var buf bytes.Buffer
+	if err := s.SaveTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	corrupt := func(mutate func(b []byte)) error {
+		b := append([]byte(nil), good...)
+		mutate(b)
+		_, err := ReadShardedEngine(bytes.NewReader(b))
+		return err
+	}
+
+	if err := corrupt(func(b []byte) { b[0] = 'X' }); err == nil {
+		t.Error("bad magic accepted")
+	}
+	// Shard count beyond MaxShards must be rejected before any
+	// per-shard allocation happens.
+	if err := corrupt(func(b []byte) {
+		binary.LittleEndian.PutUint32(b[8:], 1<<31)
+	}); err == nil {
+		t.Error("absurd shard count accepted")
+	}
+	if err := corrupt(func(b []byte) {
+		binary.LittleEndian.PutUint32(b[8:], 0)
+	}); err == nil {
+		t.Error("zero shard count accepted")
+	}
+	// First blob length pointing past the end of the data must fail
+	// cleanly (truncated read), not hang or over-read into a panic.
+	if err := corrupt(func(b []byte) {
+		binary.LittleEndian.PutUint64(b[20:], 1<<40)
+	}); err == nil {
+		t.Error("oversized blob length accepted")
+	}
+	if _, err := ReadShardedEngine(bytes.NewReader(good[:len(good)/2])); err == nil {
+		t.Error("truncated container accepted")
+	}
+
+	// The parallel file loader bounds blob sizes against the file size.
+	path := filepath.Join(t.TempDir(), "corrupt.bin")
+	b := append([]byte(nil), good...)
+	binary.LittleEndian.PutUint64(b[20:], 1<<40)
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadShardedEngine(path); err == nil {
+		t.Error("LoadShardedEngine accepted blob size beyond file size")
+	}
+}
+
+// A mixed concurrent workload over a sharded engine must be race-free:
+// searches, inserts, deletes, rebuilds, stats, and snapshots all at once.
+func TestShardedConcurrentMixedWorkload(t *testing.T) {
+	objs := shardedObjects(300, 91)
+	extra := shardedObjects(200, 92)
+	queries := shardedQueries(8, 93)
+	s := newSharded(t, objs, 4, true)
+
+	var wg sync.WaitGroup
+	// Searchers: single queries and batches.
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 40; i++ {
+				q := Query{Vectors: queries[(w+i)%len(queries)], K: 5}
+				if _, err := s.Search(context.Background(), q); err != nil {
+					t.Errorf("search: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		qs := make([]Query, len(queries))
+		for i, q := range queries {
+			qs[i] = Query{Vectors: q, K: 5}
+		}
+		for i := 0; i < 15; i++ {
+			_, errs := s.SearchEach(context.Background(), qs, 2)
+			for _, err := range errs {
+				if err != nil {
+					t.Errorf("searchEach: %v", err)
+					return
+				}
+			}
+		}
+	}()
+	// Inserters.
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(extra); i += 2 {
+				if _, err := s.InsertObject(extra[i]); err != nil {
+					t.Errorf("insert: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	// Deleter: tombstones a slice of the initial corpus (always live).
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for id := int64(0); id < 60; id++ {
+			if err := s.Delete(id); err != nil {
+				t.Errorf("delete %d: %v", id, err)
+				return
+			}
+		}
+	}()
+	// Maintenance: full rebuilds and single-shard rebuilds.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 2; i++ {
+			if err := s.Rebuild(); err != nil {
+				t.Errorf("rebuild: %v", err)
+				return
+			}
+			if err := s.RebuildShard(i % 4); err != nil {
+				t.Errorf("rebuildShard: %v", err)
+				return
+			}
+		}
+	}()
+	// Observers: stats, epochs, snapshot.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			if _, err := s.Stats(); err != nil {
+				t.Errorf("stats: %v", err)
+				return
+			}
+			s.ShardStats()
+			s.Epochs()
+			_ = s.Len()
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 2; i++ {
+			if err := s.SaveTo(&countingDiscard{}); err != nil {
+				t.Errorf("save: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+
+	if got, want := s.Len(), len(objs)+len(extra)-60; got != want {
+		t.Fatalf("final live count %d, want %d", got, want)
+	}
+}
+
+// countingDiscard is an io.Writer sink for concurrent snapshot tests.
+type countingDiscard struct{ n int64 }
+
+func (c *countingDiscard) Write(p []byte) (int, error) {
+	c.n += int64(len(p))
+	return len(p), nil
+}
