@@ -76,6 +76,11 @@ var gatedByDefault = []*regexp.Regexp{
 	// 256k tier (MUST_SCALE=1) gates against BENCH_BASELINE_SCALE.json.
 	regexp.MustCompile(`^BenchmarkShardedBuild/`),
 	regexp.MustCompile(`^BenchmarkShardedSearch/`),
+	// Dot-kernel microbenchmarks (per runtime variant: go + avx2/neon)
+	// and the SQ8 quantized search path against its float32 twin on the
+	// CLIP-scale corpus — the pair that backs the ≥1.5× speedup claim.
+	regexp.MustCompile(`^BenchmarkKernel/`),
+	regexp.MustCompile(`^BenchmarkSearchSQ8/`),
 }
 
 // benchLine parses one `go test -bench` result line. Custom ReportMetric

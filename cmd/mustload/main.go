@@ -37,6 +37,13 @@ type statsResponse struct {
 	Shards []struct {
 		State string `json:"state"`
 	} `json:"shards"`
+	// Engine picks the scan-path fields out of the nested must.Stats:
+	// which dot kernel the daemon runs and whether an SQ8 shadow serves
+	// the beam search (quantized_bytes > 0).
+	Engine struct {
+		QuantizedBytes int64  `json:"quantized_bytes"`
+		KernelVariant  string `json:"kernel_variant"`
+	} `json:"engine"`
 }
 
 type searchRequest struct {
@@ -164,10 +171,17 @@ func run(addr string, conc int, duration time.Duration, k, prime int, writeRatio
 	if len(st.Schema) == 0 {
 		return fmt.Errorf("daemon reports an empty schema")
 	}
+	scan := ""
+	if st.Engine.KernelVariant != "" {
+		scan = fmt.Sprintf(", kernel=%s", st.Engine.KernelVariant)
+	}
+	if st.Engine.QuantizedBytes > 0 {
+		scan += fmt.Sprintf(", sq8=%.1fMB", float64(st.Engine.QuantizedBytes)/(1<<20))
+	}
 	if len(st.Shards) > 0 {
-		fmt.Printf("target %s: schema %v, %d objects, built=%v, %d shards\n", addr, st.Schema, st.Objects, st.Built, len(st.Shards))
+		fmt.Printf("target %s: schema %v, %d objects, built=%v, %d shards%s\n", addr, st.Schema, st.Objects, st.Built, len(st.Shards), scan)
 	} else {
-		fmt.Printf("target %s: schema %v, %d objects, built=%v\n", addr, st.Schema, st.Objects, st.Built)
+		fmt.Printf("target %s: schema %v, %d objects, built=%v%s\n", addr, st.Schema, st.Objects, st.Built, scan)
 	}
 
 	rng := rand.New(rand.NewSource(seed))

@@ -75,6 +75,10 @@ type Engine struct {
 	// change, build, rebuild). Serving layers key caches on it: any
 	// mutation bumps it, invalidating every cached result at once.
 	epoch uint64
+	// quantize routes searches over the SQ8 shadow store (see
+	// EnableQuantization); rerankK is the exact re-rank depth (0 = 4·k).
+	quantize bool
+	rerankK  int
 }
 
 // Epoch returns the engine's mutation epoch: a counter that increments
@@ -175,6 +179,9 @@ func (e *Engine) InsertObject(o Object) (int64, error) {
 	e.lookup[id] = slot
 	e.epoch++
 	if e.ix != nil {
+		// Quantize the appended row before the searcher snapshot below;
+		// no-op unless quantization is enabled and trained.
+		e.c.store.SyncSQ8()
 		// The graph and object slice grew; pooled searchers sized to the
 		// old vertex count must not be reused.
 		e.resetSearchersLocked()
@@ -316,6 +323,49 @@ func (e *Engine) LearnWeights(queries []NamedVectors, positives []int64, cfg Wei
 	return w, nil
 }
 
+// EnableQuantization attaches an SQ8 scalar-quantized shadow store (1
+// byte/dim, per-modality scales — see vec.SQ8Store) and routes all
+// subsequent searches over it, with an exact float32 re-rank of the top
+// rerankK candidates per query (0 means 4·k, clamped to the beam width).
+// Memory cost is ~¼ of the float32 corpus on top of it; the scan itself
+// touches 4× less memory, which is the point.
+//
+// Called before Build, the quantizer trains inside Build (after the graph
+// seals, over the complete corpus). Called on a built engine, it trains
+// immediately. Pre-build inserts are not quantized eagerly — scales
+// trained on a partial corpus would be garbage — and rows inserted after
+// training use the trained scales, clamping out-of-range values (the
+// exact re-rank absorbs the extra error; Rebuild retrains from scratch).
+func (e *Engine) EnableQuantization(rerankK int) error {
+	if rerankK < 0 {
+		return fmt.Errorf("must: negative rerank depth %d", rerankK)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.rerankK = rerankK
+	if e.quantize {
+		return nil
+	}
+	e.quantize = true
+	st := e.c.flatStore()
+	if st != nil {
+		st.EnableSQ8()
+		if e.ix != nil {
+			st.SyncSQ8()
+			e.epoch++
+			e.resetSearchersLocked()
+		}
+	}
+	return nil
+}
+
+// Quantized reports whether searches route over the SQ8 shadow store.
+func (e *Engine) Quantized() bool {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.quantize
+}
+
 // Build constructs the fused index over everything inserted so far. It
 // must be called once before Search; after that, use Rebuild to compact
 // and re-optimize. Build holds the write lock for the duration.
@@ -326,6 +376,14 @@ func (e *Engine) Build() error {
 	defer e.mu.Unlock()
 	if e.ix != nil {
 		return fmt.Errorf("must: engine already built; use Rebuild")
+	}
+	if e.quantize {
+		// The store may not have existed when EnableQuantization ran (it
+		// is created lazily on first insert); attach the shadow now so the
+		// build trains the quantizer after sealing the graph.
+		if st := e.c.flatStore(); st != nil {
+			st.EnableSQ8()
+		}
 	}
 	ix, err := Build(e.c, e.weights, e.build)
 	if err != nil {
@@ -365,6 +423,7 @@ func (e *Engine) Rebuild() error {
 	idsSnap := append([]int64(nil), e.ids[:snapLen]...)
 	w := append(Weights(nil), e.weights...)
 	bo := e.build
+	quant := e.quantize
 	e.mu.RUnlock()
 
 	alive := 0
@@ -382,6 +441,12 @@ func (e *Engine) Rebuild() error {
 	// copied verbatim (already normalized), preserving bit-exact vectors.
 	newC := &Collection{dims: append([]int(nil), e.c.dims...), names: e.schema.Names(),
 		store: vec.NewFlatStore(e.c.dims, alive)}
+	if quant {
+		// Fresh store, fresh shadow: the rebuild's Build call retrains the
+		// quantizer over the compacted corpus, shedding any drift from
+		// clamped post-training inserts.
+		newC.store.EnableSQ8()
+	}
 	aliveIDs := make([]int64, 0, alive)
 	for i := 0; i < snapLen; i++ {
 		if i < len(dead) && dead[i] {
@@ -424,6 +489,9 @@ func (e *Engine) Rebuild() error {
 	e.ix = newIx
 	e.ids = aliveIDs
 	e.lookup = newLookup
+	// Quantize any rows replayed after the off-lock build trained the
+	// shadow (no-op when quantization is off).
+	e.c.store.SyncSQ8()
 	e.epoch++
 	e.resetSearchersLocked()
 	return nil
@@ -524,6 +592,8 @@ func (e *Engine) searchOneLocked(ctx context.Context, s *search.Searcher, q Quer
 		Patience:   q.Patience,
 		Optimize:   !q.DisableOptimization,
 		Breakdown:  true,
+		Quantized:  e.quantize,
+		RerankK:    e.rerankK,
 		Ctx:        ctx,
 	})
 	if err != nil {

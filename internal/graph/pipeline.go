@@ -22,6 +22,12 @@ type Pipeline struct {
 	Connect    Connectivity
 	// RandSeed drives any randomized component decisions.
 	RandSeed int64
+	// AfterSeal, when set, runs after the adjacency is sealed into its
+	// CSR form but before Build returns. The index layer uses it to train
+	// the SQ8 quantizer over the finished corpus while the build still
+	// owns the store (so quantizer training is accounted to build time,
+	// not to the first search).
+	AfterSeal func()
 }
 
 func (p Pipeline) validate() error {
@@ -81,7 +87,11 @@ func (p Pipeline) Build(s *Space) (*Graph, error) {
 
 	// Seal the working adjacency into the canonical CSR form; the
 	// per-vertex lists are garbage from here on.
-	return NewCSR(final, seed), nil
+	g := NewCSR(final, seed)
+	if p.AfterSeal != nil {
+		p.AfterSeal()
+	}
+	return g, nil
 }
 
 // ComponentSummary renders the assembly, e.g.

@@ -48,6 +48,18 @@ type Fused struct {
 // store with the given weights using pipeline p. The weighted fused
 // buffer exists only for the duration of the build.
 func BuildFusedStore(store *vec.FlatStore, w vec.Weights, p graph.Pipeline) (*Fused, error) {
+	// Quantizer training rides the pipeline's after-seal hook so it runs
+	// inside the build (and its timing) rather than lazily on first
+	// search. buildOverStore's unconditional sync then no-ops.
+	if store != nil && store.SQ8() != nil {
+		prev := p.AfterSeal
+		p.AfterSeal = func() {
+			if prev != nil {
+				prev()
+			}
+			store.SyncSQ8()
+		}
+	}
 	return buildOverStore(store, w, p.Name, func(s *graph.Space) (*graph.Graph, error) {
 		return p.Build(s)
 	})
@@ -95,6 +107,10 @@ func buildOverStore(store *vec.FlatStore, w vec.Weights, name string, build func
 	// The weighted fused block was only needed to build the graph; from
 	// here on the store is the single corpus copy.
 	space.Release()
+	// Non-pipeline builders (HNSW/Vamana/HCNNG graph funcs) have no
+	// after-seal hook; make sure an enabled SQ8 shadow is trained before
+	// the index is handed out. No-op when disabled or already synced.
+	store.SyncSQ8()
 	return &Fused{
 		Graph:     g,
 		Weights:   w.Clone(),

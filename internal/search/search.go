@@ -86,6 +86,9 @@ type Searcher struct {
 	batch   []int32 // unseen neighbors of the current hop, gathered first
 	// flat is the reusable fused scanner (reset per call on the flat path).
 	flat vec.FlatScanner
+	// sq8 is the reusable quantized scanner (reset per call when
+	// Params.Quantized routes over the SQ8 shadow store).
+	sq8 vec.SQ8Scanner
 }
 
 // poolEntry is one entry of the Algorithm 2 result pool R.
@@ -229,6 +232,18 @@ type Params struct {
 	// Breakdown requests per-modality similarity contributions on the
 	// returned results (Result.PerModality).
 	Breakdown bool
+	// Quantized routes the beam search over the store's SQ8 shadow (1
+	// byte/dim instead of 4 — see vec.SQ8Store) and re-ranks the top
+	// RerankK pool entries with exact float32 scores before returning.
+	// Silently falls back to the exact path when the store has no trained
+	// shadow covering the searcher's snapshot (e.g. quantization disabled,
+	// or the legacy kernel selected).
+	Quantized bool
+	// RerankK is the exact re-rank depth of the quantized path: how many
+	// of the top pool entries get exact float32 scores. 0 means 4·K
+	// (clamped to L). Deeper re-rank recovers more of the recall lost to
+	// quantization error at the cost of rerank_k full float32 sweeps.
+	RerankK int
 	// Ctx, when non-nil, is checked periodically during routing; the
 	// search aborts with the context's error on cancellation or deadline.
 	Ctx context.Context
@@ -313,9 +328,18 @@ func (s *Searcher) SearchParams(query vec.Multi, p Params) ([]Result, Stats, err
 	// the comparison-only legacy path allocates a scanner per call.
 	var flat *vec.FlatScanner
 	var legacy *vec.PartialIPScanner
+	var quant *vec.SQ8Scanner
+	var codes *vec.SQ8Store
 	if s.useFlat && s.store != nil {
 		s.flat.Reset(s.store, weights, query)
 		flat = &s.flat
+		if p.Quantized {
+			if q := s.store.SQ8(); q != nil && q.Trained() && q.Len() >= n {
+				s.sq8.Reset(s.store, weights, query)
+				quant = &s.sq8
+				codes = q
+			}
+		}
 	} else {
 		legacy = vec.NewPartialIPScanner(weights, query)
 	}
@@ -334,9 +358,14 @@ func (s *Searcher) SearchParams(query vec.Multi, p Params) ([]Result, Stats, err
 	marks := s.marks
 	seenCount := 0
 
-	// evalFull computes the exact joint IP with no early termination.
+	// evalFull computes the routing joint IP with no early termination —
+	// exact on the float32 paths, approximate (dequantized) on the
+	// quantized path, where the post-routing re-rank restores exactness.
 	evalFull := func(id int32) float32 {
 		stats.FullEvals++
+		if quant != nil {
+			return quant.FullIP(codes.Row(int(id)))
+		}
 		if flat != nil {
 			return flat.FullIP(s.store.Row(int(id)))
 		}
@@ -426,7 +455,10 @@ func (s *Searcher) SearchParams(query vec.Multi, p Params) ([]Result, Stats, err
 		// the CSR edge array per hop — so the scoring loop is a straight
 		// run of row sweeps over the packed store, which the hardware
 		// prefetcher handles far better than scoring interleaved with
-		// adjacency chasing.
+		// adjacency chasing. Each gathered row is software-prefetched
+		// here, a full batch ahead of its dot sweep: candidate rows are
+		// random-access into a multi-MB arena, and without the hint every
+		// sweep stalls on a cold row.
 		batch := s.batch[:0]
 		for _, u := range s.g.Neighbors(v) {
 			if marks[u] >= gen {
@@ -434,6 +466,11 @@ func (s *Searcher) SearchParams(query vec.Multi, p Params) ([]Result, Stats, err
 			}
 			mark(u)
 			batch = append(batch, u)
+			if quant != nil {
+				vec.PrefetchBytes(codes.Row(int(u)))
+			} else if flat != nil {
+				vec.PrefetchFloats(s.store.Row(int(u)))
+			}
 		}
 		s.batch = batch
 		for _, u := range batch {
@@ -441,7 +478,9 @@ func (s *Searcher) SearchParams(query vec.Multi, p Params) ([]Result, Stats, err
 			if p.Optimize && full {
 				var bound float32
 				var exact bool
-				if flat != nil {
+				if quant != nil {
+					bound, exact = quant.Scan(codes.Row(int(u)), threshold)
+				} else if flat != nil {
 					bound, exact = flat.Scan(s.store.Row(int(u)), threshold)
 				} else {
 					bound, exact = legacy.Scan(s.object(u), threshold)
@@ -473,6 +512,35 @@ func (s *Searcher) SearchParams(query vec.Multi, p Params) ([]Result, Stats, err
 	}
 	// Hand the (possibly grown) pool buffer back to the searcher.
 	s.pool = pool
+
+	// Exact re-rank of the quantized path: the top rk pool entries are
+	// re-scored with the float32 scanner (already reset for this query)
+	// and re-sorted in place. Entries past rk keep their approximate
+	// scores — they only matter when filters/tombstones skip past the
+	// re-ranked prefix, and the default depth of 4·k leaves slack for
+	// that. Insertion sort: rk is small and the quantized order is already
+	// nearly correct.
+	if quant != nil {
+		rk := p.RerankK
+		if rk <= 0 {
+			rk = 4 * k
+		}
+		if rk > len(pool) {
+			rk = len(pool)
+		}
+		for i := 0; i < rk; i++ {
+			stats.FullEvals++
+			pool[i].ip = flat.FullIP(s.store.Row(int(pool[i].id)))
+		}
+		for i := 1; i < rk; i++ {
+			e := pool[i]
+			j := i
+			for ; j > 0 && pool[j-1].ip < e.ip; j-- {
+				pool[j] = pool[j-1]
+			}
+			pool[j] = e
+		}
+	}
 
 	out := s.results[:0]
 	for _, e := range pool {

@@ -38,6 +38,9 @@ type FlatStore struct {
 	chunkRows  int
 	chunkShift uint
 	n          int
+	// sq8 is the optional int8 scalar-quantized shadow of the arena (see
+	// sq8.go); nil unless quantization is enabled.
+	sq8 *SQ8Store
 }
 
 // chunkTargetFloats sizes overflow chunks at ~64 KiB of float32s: large
@@ -226,6 +229,9 @@ func (s *FlatStore) AppendMulti(o Multi) int {
 func (s *FlatStore) Snapshot() *FlatStore {
 	snap := *s
 	snap.chunks = append([][]float32(nil), s.chunks...)
+	if s.sq8 != nil {
+		snap.sq8 = s.sq8.snapshot()
+	}
 	return &snap
 }
 
@@ -383,29 +389,16 @@ func (fs *FlatScanner) SumW2() float32 { return fs.sumW2 }
 
 // FullIP computes the exact joint IP against a packed row with no early
 // termination. It accumulates per-segment in the same order as Scan, so
-// the two agree bit-for-bit on the exact path. The unrolled sweep is
-// written out inline — at production embedding dims a call per segment is
-// measurable against a 40–300-float multiply-add loop.
+// the two agree bit-for-bit on the exact path. Each segment is one call
+// into the installed dot kernel (AVX2/NEON where available, the pure-Go
+// reference otherwise — see kernel.go).
 func (fs *FlatScanner) FullIP(row []float32) float32 {
 	ip := fs.sumW2
 	sq := fs.sq
 	for _, sg := range fs.segs {
 		a := sq[sg.a:sg.b]
-		b := row[sg.a:sg.b]
-		b = b[:len(a)]
-		var s0, s1, s2, s3 float32
-		i := 0
-		for ; i+4 <= len(a); i += 4 {
-			s0 += a[i] * b[i]
-			s1 += a[i+1] * b[i+1]
-			s2 += a[i+2] * b[i+2]
-			s3 += a[i+3] * b[i+3]
-		}
-		s := (s0 + s1) + (s2 + s3)
-		for ; i < len(a); i++ {
-			s += a[i] * b[i]
-		}
-		ip += s - sg.halfC
+		b := row[sg.a:sg.b:sg.b]
+		ip += dotImpl(a, b) - sg.halfC
 	}
 	return ip
 }
@@ -422,21 +415,8 @@ func (fs *FlatScanner) Scan(row []float32, threshold float32) (ip float32, exact
 	sq := fs.sq
 	for _, sg := range fs.segs {
 		a := sq[sg.a:sg.b]
-		b := row[sg.a:sg.b]
-		b = b[:len(a)]
-		var s0, s1, s2, s3 float32
-		i := 0
-		for ; i+4 <= len(a); i += 4 {
-			s0 += a[i] * b[i]
-			s1 += a[i+1] * b[i+1]
-			s2 += a[i+2] * b[i+2]
-			s3 += a[i+3] * b[i+3]
-		}
-		s := (s0 + s1) + (s2 + s3)
-		for ; i < len(a); i++ {
-			s += a[i] * b[i]
-		}
-		ip += s - sg.halfC
+		b := row[sg.a:sg.b:sg.b]
+		ip += dotImpl(a, b) - sg.halfC
 		if ip <= threshold {
 			return ip, false
 		}
@@ -444,8 +424,7 @@ func (fs *FlatScanner) Scan(row []float32, threshold float32) (ip float32, exact
 	return ip, true
 }
 
-// The kernel's inner loop (written out inline in FullIP and Scan) uses a
-// 4-way unroll with four independent accumulators: a single running sum
-// serializes on floating-point add latency and roughly halves scalar
-// throughput. Scan and FullIP share the exact accumulation order, so the
-// optimized and unoptimized search paths agree bit-for-bit.
+// Scan and FullIP share the exact per-segment accumulation (both call the
+// same installed kernel, and every kernel honors the fixed accumulation
+// schedule in kernel.go), so the early-exiting and exact search paths —
+// and the AVX2/NEON/pure-Go builds — agree bit-for-bit.

@@ -1,0 +1,29 @@
+//go:build arm64 && !purego
+
+package vec
+
+import "unsafe"
+
+// The NEON kernels live in kernel_arm64.s. NEON (ASIMD) is baseline on
+// arm64 — every CPU Go targets has it — so unlike amd64 there is no
+// runtime feature probe: init installs the assembly kernels
+// unconditionally unless the binary was built with -tags purego.
+
+// dotNEON computes the float32 dot product of a and b with the shared
+// 8-lane accumulation schedule. len(a) must equal len(b).
+func dotNEON(a, b []float32) float32
+
+// dotCodesNEON computes the exact integer dot Σ int32(q[i])·int32(c[i])
+// via SMLAL/SMLAL2 (8 codes per step). len(q) must equal len(c); the
+// caller guarantees the sum fits int32 (see kernel.go).
+func dotCodesNEON(q []int16, c []uint8) int32
+
+// prefetchSpan issues PRFM PLDL1KEEP for each cache line in [p, p+n).
+func prefetchSpan(p unsafe.Pointer, n uintptr)
+
+func init() {
+	dotImpl = dotNEON
+	dotCodesImpl = dotCodesNEON
+	prefetchImpl = prefetchSpan
+	kernelName = "neon"
+}

@@ -1,0 +1,105 @@
+//go:build arm64 && !purego
+
+#include "textflag.h"
+
+// NEON dot kernels. dotNEON follows the float32 accumulation schedule
+// documented in kernel.go: V0 holds lanes s0..s3 and V1 holds s4..s7, accumulated with
+// separate FMUL+FADD roundings (deliberately no FMLA, so the result
+// matches the pure-Go reference bit for bit). The reduction is one
+// vector FADD (t0..t3 = s_j + s_{j+4}) followed by two FADDPs —
+// (t0+t1, t2+t3) then (t0+t1)+(t2+t3) — and the ≤7-element tail
+// accumulates sequentially with scalar FMULS/FADDS.
+//
+// The vector FMUL/FADD/FADDP/SMLAL/SMLAL2 forms have no Go-assembler
+// mnemonics, so they are emitted as WORD directives with the standard
+// A64 encodings; each is annotated with the instruction it encodes.
+
+// func dotNEON(a, b []float32) float32
+TEXT ·dotNEON(SB), NOSPLIT, $0-52
+	MOVD a_base+0(FP), R0
+	MOVD b_base+24(FP), R1
+	MOVD a_len+8(FP), R2
+	VEOR V0.B16, V0.B16, V0.B16
+	VEOR V1.B16, V1.B16, V1.B16
+	LSR  $3, R2, R3            // R3 = len/8 vector steps
+	CBZ  R3, reduce
+loop8:
+	VLD1.P 32(R0), [V2.S4, V3.S4]
+	VLD1.P 32(R1), [V4.S4, V5.S4]
+	WORD $0x6E24DC42           // FMUL V2.4S, V2.4S, V4.4S
+	WORD $0x6E25DC63           // FMUL V3.4S, V3.4S, V5.4S
+	WORD $0x4E22D400           // FADD V0.4S, V0.4S, V2.4S
+	WORD $0x4E23D421           // FADD V1.4S, V1.4S, V3.4S
+	SUBS $1, R3
+	BNE  loop8
+reduce:
+	WORD $0x4E21D400           // FADD  V0.4S, V0.4S, V1.4S  (t0..t3)
+	WORD $0x6E20D400           // FADDP V0.4S, V0.4S, V0.4S  (t0+t1, t2+t3, ...)
+	WORD $0x6E20D400           // FADDP V0.4S, V0.4S, V0.4S  ((t0+t1)+(t2+t3), ...)
+	AND  $7, R2, R3
+	CBZ  R3, done
+tail:
+	FMOVS.P 4(R0), F2
+	FMOVS.P 4(R1), F3
+	FMULS F3, F2, F2
+	FADDS F2, F0, F0
+	SUBS  $1, R3
+	BNE   tail
+done:
+	FMOVS F0, ret+48(FP)
+	RET
+
+// func dotCodesNEON(q []int16, c []uint8) int32
+//
+// Exact integer dot: 8 codes per step widen to u16 and multiply-
+// accumulate into two int32 accumulators with SMLAL/SMLAL2 (codes are
+// 0..255, so they are non-negative int16 after the widen). Integer adds
+// are associative, so no accumulation schedule needs mirroring — any
+// reduction order matches the Go reference.
+TEXT ·dotCodesNEON(SB), NOSPLIT, $0-52
+	MOVD q_base+0(FP), R0
+	MOVD c_base+24(FP), R1
+	MOVD c_len+32(FP), R2
+	VEOR V0.B16, V0.B16, V0.B16
+	VEOR V1.B16, V1.B16, V1.B16
+	LSR  $3, R2, R3            // R3 = len/8 vector steps
+	CBZ  R3, reducei
+loopi:
+	VLD1.P 8(R1), [V2.B8]
+	VUXTL   V2.B8, V2.H8       // bytes -> u16
+	VLD1.P 16(R0), [V3.H8]
+	WORD $0x0E628060           // SMLAL  V0.4S, V3.4H, V2.4H (low 4 into V0's int32 lanes)
+	WORD $0x4E628061           // SMLAL2 V1.4S, V3.8H, V2.8H (high 4 into V1's)
+	SUBS $1, R3
+	BNE  loopi
+reducei:
+	VADD  V1.S4, V0.S4, V0.S4
+	VADDV V0.S4, V0            // ADDV S0, V0.4S
+	VMOV  V0.S[0], R4
+	AND  $7, R2, R3
+	CBZ  R3, donei
+taili:
+	MOVBU.P 1(R1), R5
+	MOVH.P  2(R0), R6
+	MULW R6, R5, R5
+	ADDW R5, R4, R4
+	SUBS $1, R3
+	BNE  taili
+donei:
+	MOVW R4, ret+48(FP)
+	RET
+
+// func prefetchSpan(p unsafe.Pointer, n uintptr)
+//
+// One PRFM PLDL1KEEP per 64-byte line of [p, p+n). The caller
+// guarantees n > 0; prefetch never faults, so over-reaching the last
+// partial line is harmless.
+TEXT ·prefetchSpan(SB), NOSPLIT, $0-16
+	MOVD p+0(FP), R0
+	MOVD n+8(FP), R1
+prefloop:
+	PRFM (R0), PLDL1KEEP
+	ADD  $64, R0
+	SUBS $64, R1
+	BGT  prefloop
+	RET

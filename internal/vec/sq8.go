@@ -1,0 +1,449 @@
+package vec
+
+import "fmt"
+
+// SQ8Store is an int8 scalar-quantized shadow copy of a FlatStore: every
+// float32 of a packed row becomes one byte, encoded against a per-modality
+// affine scale code = round((x − min_m)/Δ_m) with Δ_m = (max_m − min_m)/255.
+// Per-modality scales matter because modalities come from different
+// encoders with different value ranges; a single global scale would burn
+// most of the 8-bit budget on the widest modality.
+//
+// The beam search scans these codes at 1 byte/dim instead of 4 — the scan
+// is memory-bandwidth-bound, so this is directly a ~4× reduction in hot
+// loop traffic — and the top candidates are re-ranked exactly against the
+// float32 rows before results are returned (see internal/search).
+//
+// Like its parent the code arena is chunked so it grows without moving
+// stored rows, and the same concurrency contract applies: concurrent
+// readers are safe, mutation (Train/Sync) is serialized by the caller's
+// write lock, and snapshot carries its own chunk table so appends to the
+// original never race readers of the snapshot.
+type SQ8Store struct {
+	offs   []int
+	rowDim int
+	// mins[m] and deltas[m] are the affine scale of modality m; invDeltas
+	// is the precomputed reciprocal used when quantizing (0 for a
+	// degenerate modality where max == min, making every code 0).
+	mins, deltas, invDeltas []float32
+	trained                 bool
+
+	bulk       []uint8
+	bulkCap    int
+	chunks     [][]uint8
+	chunkRows  int
+	chunkShift uint
+	n          int
+}
+
+// sq8ChunkTargetBytes sizes overflow chunks at ~64 KiB of codes.
+const sq8ChunkTargetBytes = 1 << 16
+
+func newSQ8Store(offs []int, rowDim, capacity int) *SQ8Store {
+	m := len(offs) - 1
+	q := &SQ8Store{
+		offs:      offs,
+		rowDim:    rowDim,
+		mins:      make([]float32, m),
+		deltas:    make([]float32, m),
+		invDeltas: make([]float32, m),
+		bulkCap:   capacity,
+	}
+	if capacity > 0 {
+		q.bulk = make([]uint8, capacity*rowDim)
+	}
+	rows := 1
+	shift := uint(0)
+	for rows*rowDim < sq8ChunkTargetBytes && rows < 1<<16 {
+		rows <<= 1
+		shift++
+	}
+	q.chunkRows = rows
+	q.chunkShift = shift
+	return q
+}
+
+// SQ8FromParts reconstructs a trained store from persisted scales and a
+// code arena (the v5 collection loader). len(codes) must be a whole
+// number of rows.
+func SQ8FromParts(offs []int, rowDim int, mins, deltas []float32, codes []uint8) *SQ8Store {
+	if len(codes)%rowDim != 0 {
+		panic(fmt.Sprintf("vec: sq8 arena of %d codes is not a whole number of %d-byte rows", len(codes), rowDim))
+	}
+	q := newSQ8Store(offs, rowDim, 0)
+	copy(q.mins, mins)
+	copy(q.deltas, deltas)
+	for m, d := range q.deltas {
+		if d > 0 {
+			q.invDeltas[m] = 1 / d
+		}
+	}
+	q.trained = true
+	q.bulk = codes
+	q.bulkCap = len(codes) / rowDim
+	q.n = q.bulkCap
+	return q
+}
+
+// Trained reports whether per-modality scales have been computed. An
+// untrained store holds no codes and cannot serve quantized scans.
+func (q *SQ8Store) Trained() bool { return q.trained }
+
+// Len returns the number of quantized rows.
+func (q *SQ8Store) Len() int { return q.n }
+
+// Scales returns the per-modality (min, delta) affine scales, for
+// persistence. The slices are views; do not mutate.
+func (q *SQ8Store) Scales() (mins, deltas []float32) { return q.mins, q.deltas }
+
+// Row returns row i's codes (a view, not a copy). Views stay valid across
+// appends for the lifetime of the store.
+func (q *SQ8Store) Row(i int) []uint8 {
+	if i < q.bulkCap {
+		off := i * q.rowDim
+		return q.bulk[off : off+q.rowDim : off+q.rowDim]
+	}
+	j := i - q.bulkCap
+	c := q.chunks[j>>q.chunkShift]
+	off := (j & (q.chunkRows - 1)) * q.rowDim
+	return c[off : off+q.rowDim : off+q.rowDim]
+}
+
+// MemoryBytes reports bytes committed to code storage.
+func (q *SQ8Store) MemoryBytes() int64 {
+	total := len(q.bulk)
+	for _, c := range q.chunks {
+		total += len(c)
+	}
+	return int64(total)
+}
+
+// Runs invokes fn over the contiguous filled regions of the code arena in
+// row order, mirroring FlatStore.Runs for bulk persistence writes.
+func (q *SQ8Store) Runs(fn func(run []uint8) error) error {
+	remaining := q.n
+	if q.bulkCap > 0 {
+		rows := remaining
+		if rows > q.bulkCap {
+			rows = q.bulkCap
+		}
+		if rows > 0 {
+			if err := fn(q.bulk[:rows*q.rowDim]); err != nil {
+				return err
+			}
+		}
+		remaining -= rows
+	}
+	for _, c := range q.chunks {
+		if remaining <= 0 {
+			break
+		}
+		rows := remaining
+		if rows > q.chunkRows {
+			rows = q.chunkRows
+		}
+		if err := fn(c[:rows*q.rowDim]); err != nil {
+			return err
+		}
+		remaining -= rows
+	}
+	return nil
+}
+
+// appendRow reserves the next code row for quantizeInto to fill.
+func (q *SQ8Store) appendRow() []uint8 {
+	var row []uint8
+	if q.n < q.bulkCap {
+		off := q.n * q.rowDim
+		row = q.bulk[off : off+q.rowDim : off+q.rowDim]
+	} else {
+		j := q.n - q.bulkCap
+		ci := j >> q.chunkShift
+		if ci == len(q.chunks) {
+			q.chunks = append(q.chunks, make([]uint8, q.chunkRows*q.rowDim))
+		}
+		off := (j & (q.chunkRows - 1)) * q.rowDim
+		row = q.chunks[ci][off : off+q.rowDim : off+q.rowDim]
+	}
+	q.n++
+	return row
+}
+
+// quantizeInto encodes one packed float32 row. Values outside the trained
+// range clamp to the nearest code — rows inserted after training can
+// exceed the observed min/max; the exact re-rank absorbs the resulting
+// extra quantization error on those rows.
+func (q *SQ8Store) quantizeInto(dst []uint8, row []float32) {
+	for m := 0; m < len(q.offs)-1; m++ {
+		min, inv := q.mins[m], q.invDeltas[m]
+		for i := q.offs[m]; i < q.offs[m+1]; i++ {
+			// Round-half-up is fine here: the exact tie behavior only
+			// shifts which neighbor code a boundary value maps to, and
+			// both are within half a delta.
+			c := int32((row[i]-min)*inv + 0.5)
+			if c < 0 {
+				c = 0
+			} else if c > 255 {
+				c = 255
+			}
+			dst[i] = uint8(c)
+		}
+	}
+}
+
+// train computes per-modality min/max over rows [0, n) of st, fixes the
+// affine scales, and quantizes those rows.
+func (q *SQ8Store) train(st *FlatStore) {
+	nm := len(q.offs) - 1
+	for m := 0; m < nm; m++ {
+		q.mins[m] = 0
+		q.deltas[m] = 0
+		q.invDeltas[m] = 0
+	}
+	if st.n == 0 {
+		return
+	}
+	maxs := make([]float32, nm)
+	for m := range maxs {
+		q.mins[m] = st.Row(0)[q.offs[m]]
+		maxs[m] = q.mins[m]
+	}
+	for i := 0; i < st.n; i++ {
+		row := st.Row(i)
+		for m := 0; m < nm; m++ {
+			for j := q.offs[m]; j < q.offs[m+1]; j++ {
+				x := row[j]
+				if x < q.mins[m] {
+					q.mins[m] = x
+				}
+				if x > maxs[m] {
+					maxs[m] = x
+				}
+			}
+		}
+	}
+	for m := 0; m < nm; m++ {
+		d := (maxs[m] - q.mins[m]) / 255
+		q.deltas[m] = d
+		if d > 0 {
+			q.invDeltas[m] = 1 / d
+		}
+	}
+	q.trained = true
+	for i := 0; i < st.n; i++ {
+		q.quantizeInto(q.appendRow(), st.Row(i))
+	}
+}
+
+// snapshot returns a read-only view with its own chunk table, so appends
+// to the original (which only extend the original's table and write
+// memory past q.n) are invisible to snapshot readers.
+func (q *SQ8Store) snapshot() *SQ8Store {
+	snap := *q
+	snap.chunks = append([][]uint8(nil), q.chunks...)
+	return &snap
+}
+
+// ---------------------------------------------------------------------------
+// FlatStore integration.
+
+// EnableSQ8 attaches an (untrained) SQ8 shadow store sized for the parent
+// bulk capacity. SyncSQ8 trains it on first call once rows exist. No-op
+// if already enabled.
+func (s *FlatStore) EnableSQ8() {
+	if s.sq8 == nil {
+		s.sq8 = newSQ8Store(s.offs, s.rowDim, s.bulkCap)
+	}
+}
+
+// AdoptSQ8 installs a reconstructed shadow store (the v5 collection
+// loader). It must cover exactly the store's current rows.
+func (s *FlatStore) AdoptSQ8(q *SQ8Store) {
+	if q.n != s.n {
+		panic(fmt.Sprintf("vec: sq8 store has %d rows, parent has %d", q.n, s.n))
+	}
+	s.sq8 = q
+}
+
+// SQ8 returns the attached shadow store, or nil when quantization is not
+// enabled.
+func (s *FlatStore) SQ8() *SQ8Store { return s.sq8 }
+
+// SyncSQ8 brings the shadow store up to date with the parent: the first
+// call with a non-empty corpus trains the per-modality scales over all
+// rows present and quantizes them; later calls quantize only the rows
+// appended since. Mutating — callers hold the parent's write lock. No-op
+// when quantization is not enabled.
+func (s *FlatStore) SyncSQ8() {
+	q := s.sq8
+	if q == nil || q.n == s.n {
+		return
+	}
+	if !q.trained {
+		q.train(s)
+		return
+	}
+	for i := q.n; i < s.n; i++ {
+		q.quantizeInto(q.appendRow(), s.Row(i))
+	}
+}
+
+// QuantizedBytes reports bytes committed to the SQ8 shadow store, or 0
+// when quantization is not enabled.
+func (s *FlatStore) QuantizedBytes() int64 {
+	if s.sq8 == nil {
+		return 0
+	}
+	return s.sq8.MemoryBytes()
+}
+
+// ---------------------------------------------------------------------------
+// Quantized fused scanner.
+
+// sq8MaxQ is the query quantization range: the ω²-pre-scaled query
+// segment maps to int16 values in [-sq8MaxQ, sq8MaxQ]. 4096 keeps the
+// worst-case integer dot Σ|t_i|·255 within int32 for segments up to 2048
+// dims (Reset lowers the cap further for longer segments) while leaving
+// the query's relative quantization error at ~1/8192 — far below the
+// ~1/512 relative error the uint8 codes already carry.
+const sq8MaxQ = 4096
+
+// sq8Seg is one active modality range of a code row: the dequantized
+// segment IP folds to scale·(Σ t_i·c_i) + c, where t is the query
+// segment quantized to int16 (see sq8MaxQ), scale = Δ_m·s_m folds the
+// code and query dequantization factors, and
+// c = min_m·Σq′_seg − ½·ω²·(‖q‖²+1) collects every constant term (q′ is
+// the exact ω²-pre-scaled float query, so only the Δ_m term carries
+// query quantization error).
+type sq8Seg struct {
+	a, b     int
+	scale, c float32
+}
+
+// SQ8Scanner is FlatScanner's quantized twin: it evaluates the Lemma 1
+// joint similarity against SQ8 code rows via the exact int16·uint8
+// integer dot kernel (the affine scales and offsets fold into
+// per-segment constants hoisted out of the loop). Scores are approximate
+// — code quantization error is bounded by ~½Δ per dimension, query
+// quantization adds ~1/8192 relative on top — so the search pipeline
+// re-ranks top candidates exactly; Scan keeps the same Lemma 4
+// early-exit shape as the float32 scanner. Because the inner sum is
+// exact integer arithmetic, every kernel variant (go/avx2/neon) produces
+// bit-identical scores by construction.
+type SQ8Scanner struct {
+	sq    []float32
+	q16   []int16
+	segs  []sq8Seg
+	sumW2 float32
+}
+
+// Reset re-targets the scanner at a new query and weights against the
+// trained shadow store of st, reusing buffers like FlatScanner.Reset.
+func (qs *SQ8Scanner) Reset(st *FlatStore, w Weights, query Multi) {
+	q := st.sq8
+	if q == nil || !q.trained {
+		panic("vec: SQ8Scanner.Reset on a store without a trained SQ8 shadow")
+	}
+	if cap(qs.sq) < st.rowDim {
+		qs.sq = make([]float32, st.rowDim)
+		qs.q16 = make([]int16, st.rowDim)
+	}
+	sq := qs.sq[:st.rowDim]
+	qs.sq = sq
+	q16 := qs.q16[:st.rowDim]
+	qs.q16 = q16
+	st.PackQueryInto(sq, query)
+	qs.segs = qs.segs[:0]
+	qs.sumW2 = w.SumSquared()
+	for m := range st.dims {
+		a, b := st.offs[m], st.offs[m+1]
+		if m >= len(w) || w[m] == 0 {
+			for i := a; i < b; i++ {
+				sq[i] = 0
+				q16[i] = 0
+			}
+			continue
+		}
+		w2 := w[m] * w[m]
+		var qq, qsum, maxAbs float32
+		for i := a; i < b; i++ {
+			qq += sq[i] * sq[i]
+			sq[i] *= w2
+			qsum += sq[i]
+			if v := sq[i]; v > maxAbs {
+				maxAbs = v
+			} else if -v > maxAbs {
+				maxAbs = -v
+			}
+		}
+		// Quantize the weighted query segment to int16. The cap keeps
+		// Σ|t_i|·255 within int32 (kernel overflow contract); rounding
+		// is symmetric and pure Go, so every platform and kernel variant
+		// builds the identical t vector.
+		tCap := int32(sq8MaxQ)
+		if limit := int32((1<<31 - 1) / (255 * (b - a))); limit < tCap {
+			tCap = limit
+		}
+		var scale float32
+		if maxAbs > 0 {
+			inv := float64(tCap) / float64(maxAbs)
+			for i := a; i < b; i++ {
+				f := float64(sq[i]) * inv
+				var t int32
+				if f >= 0 {
+					t = int32(f + 0.5)
+				} else {
+					t = int32(f - 0.5)
+				}
+				if t > tCap {
+					t = tCap
+				} else if t < -tCap {
+					t = -tCap
+				}
+				q16[i] = int16(t)
+			}
+			sm := float32(float64(maxAbs) / float64(tCap))
+			scale = q.deltas[m] * sm
+		} else {
+			for i := a; i < b; i++ {
+				q16[i] = 0
+			}
+		}
+		qs.segs = append(qs.segs, sq8Seg{
+			a:     a,
+			b:     b,
+			scale: scale,
+			c:     q.mins[m]*qsum - 0.5*w2*(qq+1),
+		})
+	}
+}
+
+// SumW2 returns Σ ω_i², the upper bound Scan starts from.
+func (qs *SQ8Scanner) SumW2() float32 { return qs.sumW2 }
+
+// FullIP computes the approximate joint IP against a code row with no
+// early termination, accumulating per-segment in the same order as Scan.
+func (qs *SQ8Scanner) FullIP(codes []uint8) float32 {
+	ip := qs.sumW2
+	q16 := qs.q16
+	for _, sg := range qs.segs {
+		ip += sg.scale*float32(dotCodesImpl(q16[sg.a:sg.b], codes[sg.a:sg.b:sg.b])) + sg.c
+	}
+	return ip
+}
+
+// Scan evaluates the approximate joint IP against a code row with the
+// Lemma 4 bound checked at modality boundaries, exactly like
+// FlatScanner.Scan. exact == true means the approximate IP cleared the
+// threshold, not that the score is exact — callers re-rank.
+func (qs *SQ8Scanner) Scan(codes []uint8, threshold float32) (ip float32, exact bool) {
+	ip = qs.sumW2
+	q16 := qs.q16
+	for _, sg := range qs.segs {
+		ip += sg.scale*float32(dotCodesImpl(q16[sg.a:sg.b], codes[sg.a:sg.b:sg.b])) + sg.c
+		if ip <= threshold {
+			return ip, false
+		}
+	}
+	return ip, true
+}

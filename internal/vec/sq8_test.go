@@ -1,0 +1,244 @@
+package vec
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func buildSQ8Fixture(t *testing.T, n int) (*FlatStore, Weights, Multi) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(11))
+	dims := []int{13, 24}
+	st := NewFlatStore(dims, n)
+	for i := 0; i < n; i++ {
+		row := st.AppendRow()
+		for j := range row {
+			row[j] = float32(rng.NormFloat64())
+		}
+		Normalize(row[0:13])
+		Normalize(row[13:37])
+	}
+	w := Weights{0.8, 0.6}
+	q := Multi{
+		Normalized(randFloats(rng, 13)),
+		Normalized(randFloats(rng, 24)),
+	}
+	return st, w, q
+}
+
+func TestSQ8TrainAndSync(t *testing.T) {
+	st, _, _ := buildSQ8Fixture(t, 50)
+	if st.QuantizedBytes() != 0 || st.SQ8() != nil {
+		t.Fatal("quantization should be off by default")
+	}
+	st.EnableSQ8()
+	if st.SQ8().Trained() {
+		t.Fatal("enable alone must not train")
+	}
+	st.SyncSQ8()
+	q := st.SQ8()
+	if !q.Trained() || q.Len() != 50 {
+		t.Fatalf("after sync: trained=%v len=%d", q.Trained(), q.Len())
+	}
+	if st.QuantizedBytes() <= 0 {
+		t.Fatal("quantized bytes should be positive")
+	}
+
+	// Appends after training quantize incrementally on the next sync.
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 40; i++ {
+		row := st.AppendRow()
+		for j := range row {
+			row[j] = float32(rng.NormFloat64())
+		}
+		Normalize(row[0:13])
+		Normalize(row[13:37])
+	}
+	st.SyncSQ8()
+	if q.Len() != 90 {
+		t.Fatalf("after incremental sync: len=%d, want 90", q.Len())
+	}
+
+	// Dequantized codes must approximate the float rows within half a
+	// delta per dimension — except values outside the trained range
+	// (possible on rows appended after training), which clamp to the
+	// nearest endpoint code.
+	mins, deltas := q.Scales()
+	for i := 0; i < st.Len(); i++ {
+		row, codes := st.Row(i), q.Row(i)
+		for m := 0; m < st.Modalities(); m++ {
+			for j := st.Offsets()[m]; j < st.Offsets()[m+1]; j++ {
+				deq := mins[m] + deltas[m]*float32(codes[j])
+				lo, hi := mins[m], mins[m]+255*deltas[m]
+				switch {
+				case row[j] < lo:
+					if codes[j] != 0 {
+						t.Fatalf("row %d dim %d: %v below range, code %d != 0", i, j, row[j], codes[j])
+					}
+				case row[j] > hi:
+					if codes[j] != 255 {
+						t.Fatalf("row %d dim %d: %v above range, code %d != 255", i, j, row[j], codes[j])
+					}
+				default:
+					if diff := math.Abs(float64(deq - row[j])); diff > float64(deltas[m])*0.51+1e-7 {
+						t.Fatalf("row %d dim %d: dequant %v vs %v (delta %v)", i, j, deq, row[j], deltas[m])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestSQ8ScannerApproximatesFlat(t *testing.T) {
+	st, w, query := buildSQ8Fixture(t, 200)
+	st.EnableSQ8()
+	st.SyncSQ8()
+
+	exact := NewFlatScanner(st, w, query)
+	var qs SQ8Scanner
+	qs.Reset(st, w, query)
+	if qs.SumW2() != exact.SumW2() {
+		t.Fatalf("SumW2 mismatch: %v vs %v", qs.SumW2(), exact.SumW2())
+	}
+
+	// Quantized scores must track the exact ones closely: per-dim error is
+	// ≤ ω²·|q_j|·Δ/2, so a loose global bound of 0.05 on unit-norm data
+	// catches any sign/offset bug while tolerating rounding.
+	sq8 := st.SQ8()
+	var worst float64
+	for i := 0; i < st.Len(); i++ {
+		e := exact.FullIP(st.Row(i))
+		a := qs.FullIP(sq8.Row(i))
+		if diff := math.Abs(float64(e - a)); diff > worst {
+			worst = diff
+		}
+	}
+	if worst > 0.05 {
+		t.Fatalf("worst |exact−quantized| = %v, want ≤ 0.05", worst)
+	}
+	t.Logf("worst |exact−quantized| over 200 rows: %v", worst)
+
+	// Scan agrees with FullIP on the exact path and respects thresholds.
+	for i := 0; i < st.Len(); i += 17 {
+		full := qs.FullIP(sq8.Row(i))
+		ip, ok := qs.Scan(sq8.Row(i), full-1)
+		if !ok || math.Float32bits(ip) != math.Float32bits(full) {
+			t.Fatalf("row %d: Scan(full-1) = (%v,%v), want (%v,true)", i, ip, ok, full)
+		}
+		if ip, ok := qs.Scan(sq8.Row(i), qs.SumW2()); ok {
+			t.Fatalf("row %d: Scan with threshold ≥ upper bound returned exact (ip=%v)", i, ip)
+		}
+	}
+}
+
+func TestSQ8SnapshotIsolation(t *testing.T) {
+	st, _, _ := buildSQ8Fixture(t, 20)
+	st.EnableSQ8()
+	st.SyncSQ8()
+	snap := st.Snapshot()
+	if snap.SQ8() == nil || snap.SQ8().Len() != 20 {
+		t.Fatal("snapshot must carry the trained shadow store")
+	}
+	// Appends+sync on the original leave the snapshot pinned.
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 2000; i++ {
+		row := st.AppendRow()
+		for j := range row {
+			row[j] = float32(rng.NormFloat64())
+		}
+	}
+	st.SyncSQ8()
+	if st.SQ8().Len() != 2020 {
+		t.Fatalf("original shadow len=%d, want 2020", st.SQ8().Len())
+	}
+	if snap.SQ8().Len() != 20 {
+		t.Fatalf("snapshot shadow len=%d, want 20", snap.SQ8().Len())
+	}
+	for i := 0; i < 20; i++ {
+		a, b := st.SQ8().Row(i), snap.SQ8().Row(i)
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("row %d codes diverged between store and snapshot", i)
+			}
+		}
+	}
+}
+
+func TestSQ8RoundtripParts(t *testing.T) {
+	st, _, _ := buildSQ8Fixture(t, 30)
+	st.EnableSQ8()
+	st.SyncSQ8()
+	q := st.SQ8()
+
+	var codes []uint8
+	if err := q.Runs(func(run []uint8) error {
+		codes = append(codes, run...)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(codes) != 30*st.RowDim() {
+		t.Fatalf("Runs emitted %d codes, want %d", len(codes), 30*st.RowDim())
+	}
+	mins, deltas := q.Scales()
+	q2 := SQ8FromParts(st.Offsets(), st.RowDim(), mins, deltas, codes)
+	if !q2.Trained() || q2.Len() != 30 {
+		t.Fatalf("reconstructed: trained=%v len=%d", q2.Trained(), q2.Len())
+	}
+	for i := 0; i < 30; i++ {
+		a, b := q.Row(i), q2.Row(i)
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("row %d differs after roundtrip", i)
+			}
+		}
+	}
+
+	// A fresh store can adopt the reconstructed shadow and keep appending.
+	st2 := NewFlatStore(st.Dims(), 0)
+	for i := 0; i < 30; i++ {
+		copy(st2.AppendRow(), st.Row(i))
+	}
+	st2.AdoptSQ8(q2)
+	copy(st2.AppendRow(), st.Row(0))
+	st2.SyncSQ8()
+	if st2.SQ8().Len() != 31 {
+		t.Fatalf("adopted shadow len=%d after append+sync, want 31", st2.SQ8().Len())
+	}
+	a, b := st2.SQ8().Row(30), q.Row(0)
+	for j := range a {
+		if a[j] != b[j] {
+			t.Fatal("row appended after adoption quantized differently from original")
+		}
+	}
+}
+
+func TestSQ8DegenerateModality(t *testing.T) {
+	// A modality whose values are all identical has delta 0; codes must
+	// all be 0 and dequantize exactly to the constant.
+	st := NewFlatStore([]int{4, 3}, 8)
+	for i := 0; i < 8; i++ {
+		row := st.AppendRow()
+		for j := 0; j < 4; j++ {
+			row[j] = 0.25
+		}
+		for j := 4; j < 7; j++ {
+			row[j] = float32(i) / 8
+		}
+	}
+	st.EnableSQ8()
+	st.SyncSQ8()
+	q := st.SQ8()
+	mins, deltas := q.Scales()
+	if mins[0] != 0.25 || deltas[0] != 0 {
+		t.Fatalf("degenerate modality scales: min=%v delta=%v", mins[0], deltas[0])
+	}
+	for i := 0; i < 8; i++ {
+		for j := 0; j < 4; j++ {
+			if q.Row(i)[j] != 0 {
+				t.Fatalf("degenerate modality code row %d dim %d = %d, want 0", i, j, q.Row(i)[j])
+			}
+		}
+	}
+}

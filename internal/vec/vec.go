@@ -21,17 +21,10 @@ func Dot(a, b []float32) float32 {
 	if len(a) != len(b) {
 		panic(fmt.Sprintf("vec: dot dimension mismatch %d != %d", len(a), len(b)))
 	}
-	var s float32
-	// Unrolled 4-wide loop: the Go compiler does not auto-vectorize, and
-	// this inner product dominates index build and search time.
-	i := 0
-	for ; i+4 <= len(a); i += 4 {
-		s += a[i]*b[i] + a[i+1]*b[i+1] + a[i+2]*b[i+2] + a[i+3]*b[i+3]
-	}
-	for ; i < len(a); i++ {
-		s += a[i] * b[i]
-	}
-	return s
+	// The Go compiler does not auto-vectorize, and this inner product
+	// dominates index build time; dotImpl is the installed SIMD kernel
+	// where available (see kernel.go).
+	return dotImpl(a, b)
 }
 
 // SquaredL2 returns the squared Euclidean distance between a and b.

@@ -559,6 +559,12 @@ type Stats struct {
 	// FusedBytes is the transient weighted-concatenation buffer used
 	// during construction; 0 once the index is built.
 	FusedBytes int64 `json:"fused_bytes"`
+	// QuantizedBytes is the memory committed to the SQ8 shadow store
+	// (≈ CorpusBytes/4); 0 when quantization is not enabled.
+	QuantizedBytes int64 `json:"quantized_bytes"`
+	// KernelVariant names the dot-kernel implementation serving this
+	// process: "avx2", "neon", or "go" (the pure-Go fallback).
+	KernelVariant string `json:"kernel_variant"`
 	// BuildTime is the wall-clock construction time in nanoseconds.
 	BuildTime int64 `json:"build_time_ns"`
 	// Algorithm names the construction pipeline.
@@ -568,8 +574,10 @@ type Stats struct {
 // Stats reports index statistics.
 func (ix *Index) Stats() Stats {
 	raw := int64(0)
+	quant := int64(0)
 	if st := ix.f.Store; st != nil {
 		raw = int64(st.Len()) * int64(st.RowDim()) * 4
+		quant = st.QuantizedBytes()
 	}
 	edges := ix.f.Graph.NumEdges()
 	var perEdge float64
@@ -585,6 +593,8 @@ func (ix *Index) Stats() Stats {
 		CorpusBytes:       ix.f.CorpusBytes(),
 		RawVectorBytes:    raw,
 		FusedBytes:        ix.f.FusedBytes(),
+		QuantizedBytes:    quant,
+		KernelVariant:     vec.KernelName(),
 		BuildTime:         int64(ix.f.BuildTime),
 		Algorithm:         ix.f.Pipeline,
 	}

@@ -75,6 +75,12 @@ var (
 	clMagicV2 = [8]byte{'M', 'U', 'S', 'T', 'C', 'L', '2', '\n'}
 	clMagicV3 = [8]byte{'M', 'U', 'S', 'T', 'C', 'L', '3', '\n'}
 	clMagicV4 = [8]byte{'M', 'U', 'S', 'T', 'C', 'L', '4', '\n'}
+	// v5 = v4 plus a trailing SQ8 block: m × (min float32, delta float32)
+	// per-modality scales followed by n·rowDim code bytes. Written only
+	// when the store carries a trained SQ8 shadow covering every row;
+	// collections without quantization keep writing v4, so files stay
+	// byte-identical for non-quantized users and v1–v4 files keep loading.
+	clMagicV5 = [8]byte{'M', 'U', 'S', 'T', 'C', 'L', '5', '\n'}
 )
 
 func writeString(bw *bufio.Writer, s string) error {
@@ -100,8 +106,10 @@ func readString(br *bufio.Reader, maxLen uint32) (string, error) {
 	return string(buf), nil
 }
 
-// WriteCollection serializes c to w in the v4 format (arena dump,
-// modality names included when present).
+// WriteCollection serializes c to w: the v4 arena-dump format, or v5 when
+// the collection carries a trained SQ8 shadow store (v5 appends the
+// quantizer scales and code arena so a loaded engine serves quantized
+// searches without retraining).
 func WriteCollection(w io.Writer, c *Collection) error {
 	bw := bufio.NewWriterSize(w, 1<<20)
 	if err := writeCollectionBody(bw, c); err != nil {
@@ -114,7 +122,20 @@ func writeCollectionBody(bw *bufio.Writer, c *Collection) error {
 	if c.Len() > maxPersistObjects {
 		return fmt.Errorf("must: collection has %d objects, persistence caps at %d", c.Len(), maxPersistObjects)
 	}
-	if _, err := bw.Write(clMagicV4[:]); err != nil {
+	// The SQ8 block is written only when it covers the full corpus (it
+	// always does under the Engine's write-lock discipline: SyncSQ8 runs
+	// before any save can observe the new rows).
+	var sq8 *vec.SQ8Store
+	if c.store != nil {
+		if q := c.store.SQ8(); q != nil && q.Trained() && q.Len() == c.Len() {
+			sq8 = q
+		}
+	}
+	magic := clMagicV4
+	if sq8 != nil {
+		magic = clMagicV5
+	}
+	if _, err := bw.Write(magic[:]); err != nil {
 		return err
 	}
 	if err := binary.Write(bw, binary.LittleEndian, uint32(len(c.dims))); err != nil {
@@ -148,7 +169,7 @@ func writeCollectionBody(bw *bufio.Writer, c *Collection) error {
 	// each encoded through one bounded scratch buffer. No per-object
 	// dispatch — collection save time is dominated by this loop.
 	scratch := make([]byte, 0, 1<<16)
-	return c.store.Runs(func(run []float32) error {
+	if err := c.store.Runs(func(run []float32) error {
 		for len(run) > 0 {
 			chunk := run
 			if len(chunk) > (1<<16)/4 {
@@ -164,6 +185,27 @@ func writeCollectionBody(bw *bufio.Writer, c *Collection) error {
 			}
 		}
 		return nil
+	}); err != nil {
+		return err
+	}
+	if sq8 == nil {
+		return nil
+	}
+	// v5 SQ8 block: per-modality scales, then the code arena in the same
+	// few-large-runs fashion as the float block (codes are raw bytes, so
+	// no scratch re-encoding is needed).
+	mins, deltas := sq8.Scales()
+	for m := range c.dims {
+		if err := binary.Write(bw, binary.LittleEndian, math.Float32bits(mins[m])); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, math.Float32bits(deltas[m])); err != nil {
+			return err
+		}
+	}
+	return sq8.Runs(func(run []uint8) error {
+		_, err := bw.Write(run)
+		return err
 	})
 }
 
@@ -210,6 +252,8 @@ func readCollectionBody(br *bufio.Reader) (*Collection, error) {
 		version = 3
 	case clMagicV4:
 		version = 4
+	case clMagicV5:
+		version = 5
 	default:
 		return nil, fmt.Errorf("must: bad collection magic %q", got[:])
 	}
@@ -303,6 +347,37 @@ func readCollectionBody(br *bufio.Reader) (*Collection, error) {
 			}
 		}
 		c.store = vec.FlatStoreFromArena(dims, arena)
+		if version >= 5 {
+			// SQ8 block: scales, then one code byte per stored float. The
+			// code arena is adopted by the shadow store verbatim, mirroring
+			// the float arena above.
+			mins := make([]float32, m)
+			deltas := make([]float32, m)
+			for i := uint32(0); i < m; i++ {
+				var mb, db uint32
+				if err := binary.Read(br, binary.LittleEndian, &mb); err != nil {
+					return nil, fmt.Errorf("must: reading sq8 scale %d: %w", i, err)
+				}
+				if err := binary.Read(br, binary.LittleEndian, &db); err != nil {
+					return nil, fmt.Errorf("must: reading sq8 scale %d: %w", i, err)
+				}
+				mins[i] = math.Float32frombits(mb)
+				deltas[i] = math.Float32frombits(db)
+			}
+			codes := make([]uint8, 0, capHint)
+			for len(codes) < totalFloats {
+				chunk := totalFloats - len(codes)
+				if chunk > 1<<20 {
+					chunk = 1 << 20
+				}
+				start := len(codes)
+				codes = append(codes, make([]uint8, chunk)...)
+				if _, err := io.ReadFull(br, codes[start:]); err != nil {
+					return nil, fmt.Errorf("must: reading sq8 code block: %w", err)
+				}
+			}
+			c.store.AdoptSQ8(vec.SQ8FromParts(c.store.Offsets(), c.store.RowDim(), mins, deltas, codes))
+		}
 		return c, nil
 	}
 	// v1/v2: per-object layout. Decode each object's floats directly into
@@ -541,6 +616,11 @@ func ReadEngine(r io.Reader) (*Engine, error) {
 		return nil, err
 	}
 	e.c.store = c.store
+	if c.store != nil && c.store.SQ8() != nil {
+		// A v5 collection body means the engine was serving quantized
+		// searches when saved; resume doing so (default re-rank depth).
+		e.quantize = true
+	}
 	e.nextID = int64(nextID)
 	e.ids = ids
 	for slot, id := range ids {

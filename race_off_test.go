@@ -1,0 +1,7 @@
+//go:build !race
+
+package must_test
+
+// raceDetectorEnabled reports whether this test binary was built with
+// -race; heavyweight fixtures shrink when it is (see raceBigN).
+const raceDetectorEnabled = false

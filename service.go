@@ -16,6 +16,11 @@ type Service interface {
 	Build() error
 	Rebuild() error
 	Stats() (Stats, error)
+	// EnableQuantization attaches an SQ8 shadow store (per shard, for a
+	// ShardedEngine) and routes searches over it with an exact re-rank of
+	// the top rerankK candidates (0 = 4·k). Quantized reports the setting.
+	EnableQuantization(rerankK int) error
+	Quantized() bool
 
 	// Mutations. Epoch is a cache-invalidation key: it changes on every
 	// result-visible mutation (for a ShardedEngine it is the sum of the

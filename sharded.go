@@ -285,6 +285,33 @@ func (s *ShardedEngine) SetWeights(w Weights) error {
 	return nil
 }
 
+// EnableQuantization attaches an SQ8 shadow store to every shard and
+// routes all subsequent searches over the quantized path with an exact
+// re-rank of the top rerankK candidates per shard (0 = 4·k). See
+// Engine.EnableQuantization for training semantics.
+func (s *ShardedEngine) EnableQuantization(rerankK int) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for _, e := range s.shards {
+		if err := e.EnableQuantization(rerankK); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Quantized reports whether searches route over the SQ8 shadow stores.
+func (s *ShardedEngine) Quantized() bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for _, e := range s.shards {
+		if !e.Quantized() {
+			return false
+		}
+	}
+	return len(s.shards) > 0
+}
+
 // LearnWeights fits modality weights from training pairs (§VI) exactly as
 // Engine.LearnWeights does: the pool T is the set of referenced positive
 // objects, so the training problem is identical to the single-engine one
@@ -670,6 +697,10 @@ func (s *ShardedEngine) Stats() (Stats, error) {
 		agg.CorpusBytes += st.CorpusBytes
 		agg.RawVectorBytes += st.RawVectorBytes
 		agg.FusedBytes += st.FusedBytes
+		agg.QuantizedBytes += st.QuantizedBytes
+		if agg.KernelVariant == "" {
+			agg.KernelVariant = st.KernelVariant
+		}
 		if st.BuildTime > agg.BuildTime {
 			agg.BuildTime = st.BuildTime
 		}
