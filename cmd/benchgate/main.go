@@ -101,7 +101,7 @@ func parseBench(path string) (map[string]*runs, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
+	defer func() { _ = f.Close() }()
 	out := make(map[string]*runs)
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
@@ -327,7 +327,7 @@ func main() {
 		f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
 		if err == nil {
 			fmt.Fprintln(f, report)
-			f.Close()
+			_ = f.Close()
 		}
 	}
 	if failures > 0 {

@@ -8,6 +8,7 @@
 //	mustd -schema image:512,text:384            # start empty, insert over HTTP
 //	mustd -schema image:512,text:384 -shards 8  # sharded: parallel build, fan-out search
 //	mustd -load engine.bin -snapshot engine.bin # restore, snapshot on shutdown
+//	mustd -schema image:512,text:384 -wal ./wal # log every mutation, replay on restart
 //
 // -load sniffs the snapshot magic, so single and sharded snapshots both
 // restore with the same flag (a sharded snapshot restores a sharded
@@ -52,6 +53,10 @@ func main() {
 		sq8    = flag.Bool("sq8", false, "serve beam search over an int8 (SQ8) shadow of the vectors with exact float32 re-rank; 4x less scan bandwidth at a small recall cost")
 		rerank = flag.Int("rerank", 0, "exact re-rank depth of the -sq8 path: top candidates re-scored in float32 (0 = 4x the request's k)")
 
+		walDir        = flag.String("wal", "", "write-ahead log directory: every mutation is logged before it is acked and replayed on restart on top of the newest -load snapshot")
+		fsyncPolicy   = flag.String("fsync", "always", "WAL durability: always (fsync per record), interval (background fsync), off (OS page cache only)")
+		fsyncInterval = flag.Duration("fsync-interval", 50*time.Millisecond, "background fsync period under -fsync interval")
+
 		maxBatch     = flag.Int("max-batch", 64, "largest coalesced engine batch")
 		batchDelay   = flag.Duration("batch-delay", time.Millisecond, "longest a search waits for batch companions")
 		batchWorkers = flag.Int("batch-workers", 0, "engine workers per batch (0 = GOMAXPROCS)")
@@ -63,7 +68,7 @@ func main() {
 		maxTimeout  = flag.Duration("max-timeout", 30*time.Second, "clamp for request-supplied timeout_ms")
 	)
 	flag.Parse()
-	if err := run(*addr, *schemaSpec, *load, *snapshot, *snapEvery, *gamma, *seed, *shards, *sq8, *rerank, server.Config{
+	if err := run(*addr, *schemaSpec, *load, *snapshot, *snapEvery, *gamma, *seed, *shards, *sq8, *rerank, *walDir, *fsyncPolicy, *fsyncInterval, server.Config{
 		MaxBatch:        *maxBatch,
 		BatchDelay:      *batchDelay,
 		BatchWorkers:    *batchWorkers,
@@ -125,21 +130,37 @@ func openEngine(load, schemaSpec string, gamma int, seed int64, shards int) (mus
 	return must.NewEngine(sc, opts)
 }
 
-// saveSnapshot writes the engine to path via a temp file + rename so a
-// crash mid-write never corrupts the previous snapshot.
-func saveSnapshot(eng must.Service, path string) error {
-	tmp := path + ".tmp"
-	if err := eng.Save(tmp); err != nil {
-		os.Remove(tmp)
-		return err
+// saveSnapshot writes the engine to path durably: temp file, fsync the
+// data, atomic rename, fsync the directory — a crash at any point leaves
+// either the old snapshot or the new one, never a torn file that only
+// reached the page cache. With a WAL attached the snapshot doubles as a
+// checkpoint: the log is truncated once the snapshot is on disk.
+func saveSnapshot(eng must.Service, durable *must.DurableService, path string) error {
+	if durable != nil {
+		return durable.Checkpoint(path)
 	}
-	return os.Rename(tmp, path)
+	return must.WriteSnapshot(eng, path)
 }
 
-func run(addr, schemaSpec, load, snapshot string, snapEvery time.Duration, gamma int, seed int64, shards int, sq8 bool, rerank int, cfg server.Config) error {
+func run(addr, schemaSpec, load, snapshot string, snapEvery time.Duration, gamma int, seed int64, shards int, sq8 bool, rerank int, walDir, fsyncPolicy string, fsyncInterval time.Duration, cfg server.Config) error {
 	eng, err := openEngine(load, schemaSpec, gamma, seed, shards)
 	if err != nil {
 		return err
+	}
+	var durable *must.DurableService
+	if walDir != "" {
+		start := time.Now()
+		ds, replayed, err := must.OpenDurable(eng, walDir, must.DurableOptions{
+			Fsync:         fsyncPolicy,
+			FsyncInterval: fsyncInterval,
+		})
+		if err != nil {
+			return fmt.Errorf("opening wal %s: %w", walDir, err)
+		}
+		durable = ds
+		eng = ds
+		log.Printf("wal open at %s (fsync=%s): replayed %d records in %v, %d objects",
+			walDir, fsyncPolicy, replayed, time.Since(start).Round(time.Millisecond), eng.Len())
 	}
 	// A v5 snapshot restores already quantized; -sq8 additionally covers
 	// fresh engines and (re)pins the re-rank depth, which is a serving
@@ -178,7 +199,7 @@ func run(addr, schemaSpec, load, snapshot string, snapEvery time.Duration, gamma
 		for {
 			select {
 			case <-t.C:
-				if err := saveSnapshot(eng, snapshot); err != nil {
+				if err := saveSnapshot(eng, durable, snapshot); err != nil {
 					log.Printf("snapshot: %v", err)
 				} else {
 					log.Printf("snapshot written to %s (%d objects)", snapshot, eng.Len())
@@ -215,10 +236,15 @@ func run(addr, schemaSpec, load, snapshot string, snapEvery time.Duration, gamma
 	close(snapStop)
 	<-snapDone
 	if snapshot != "" {
-		if err := saveSnapshot(eng, snapshot); err != nil {
+		if err := saveSnapshot(eng, durable, snapshot); err != nil {
 			return fmt.Errorf("final snapshot: %w", err)
 		}
 		log.Printf("final snapshot written to %s (%d objects)", snapshot, eng.Len())
+	}
+	if durable != nil {
+		if err := durable.Close(); err != nil {
+			return fmt.Errorf("closing wal: %w", err)
+		}
 	}
 	log.Printf("mustd drained cleanly")
 	return nil

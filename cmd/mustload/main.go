@@ -19,6 +19,7 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -71,9 +72,11 @@ func main() {
 		writeRatio = flag.Float64("write-ratio", 0, "fraction of requests that are insert+delete pairs")
 		noCache    = flag.Bool("no-cache", false, "send no_cache so every search exercises the engine")
 		seed       = flag.Int64("seed", 1, "workload randomness seed")
+		retries    = flag.Int("retries", 4, "retry a 429-shed request up to this many times, honoring Retry-After (0 = count every 429 as shed)")
+		retryCap   = flag.Duration("retry-cap", 2*time.Second, "upper bound on a single retry backoff sleep")
 	)
 	flag.Parse()
-	if err := run(*addr, *conc, *duration, *k, *prime, *writeRatio, *noCache, *seed); err != nil {
+	if err := run(*addr, *conc, *duration, *k, *prime, *writeRatio, *noCache, *seed, *retries, *retryCap); err != nil {
 		fmt.Fprintf(os.Stderr, "mustload: %v\n", err)
 		os.Exit(1)
 	}
@@ -82,29 +85,65 @@ func main() {
 type client struct {
 	base string
 	hc   *http.Client
+	// maxRetries bounds 429 retries per request; retryCap bounds each
+	// backoff sleep; retried counts retry sleeps across all workers.
+	maxRetries int
+	retryCap   time.Duration
+	retried    atomic.Int64
 }
 
-func (c *client) post(path string, body, out any) (int, error) {
+// do issues one request and reports the status code plus the server's
+// Retry-After hint (zero when absent or unparseable).
+func (c *client) do(path string, body, out any) (int, time.Duration, error) {
 	raw, err := json.Marshal(body)
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	resp, err := c.hc.Post(c.base+path, "application/json", bytes.NewReader(raw))
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
-	defer resp.Body.Close()
+	defer func() { _ = resp.Body.Close() }()
+	var retryAfter time.Duration
+	if s, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && s >= 0 {
+		retryAfter = time.Duration(s) * time.Second
+	}
 	data, err := io.ReadAll(resp.Body)
 	if err != nil {
-		return resp.StatusCode, err
+		return resp.StatusCode, retryAfter, err
 	}
 	if resp.StatusCode != http.StatusOK {
-		return resp.StatusCode, fmt.Errorf("%s: %d %s", path, resp.StatusCode, bytes.TrimSpace(data))
+		return resp.StatusCode, retryAfter, fmt.Errorf("%s: %d %s", path, resp.StatusCode, bytes.TrimSpace(data))
 	}
 	if out != nil {
-		return resp.StatusCode, json.Unmarshal(data, out)
+		return resp.StatusCode, retryAfter, json.Unmarshal(data, out)
 	}
-	return resp.StatusCode, nil
+	return resp.StatusCode, retryAfter, nil
+}
+
+// post retries 429-shed requests with capped jittered backoff. The
+// server's Retry-After hint (when present) replaces the exponential
+// base, and every sleep is jittered to 50-100% of the target so a fleet
+// of shed workers doesn't come back in lockstep; only a request still
+// shed after maxRetries surfaces its 429 to the caller.
+func (c *client) post(rng *rand.Rand, path string, body, out any) (int, error) {
+	backoff := 50 * time.Millisecond
+	for attempt := 0; ; attempt++ {
+		code, retryAfter, err := c.do(path, body, out)
+		if err == nil || code != http.StatusTooManyRequests || attempt >= c.maxRetries {
+			return code, err
+		}
+		d := backoff
+		if retryAfter > 0 {
+			d = retryAfter
+		}
+		if d > c.retryCap {
+			d = c.retryCap
+		}
+		time.Sleep(time.Duration(float64(d) * (0.5 + 0.5*rng.Float64())))
+		c.retried.Add(1)
+		backoff *= 2
+	}
 }
 
 func randVec(rng *rand.Rand, dim int) []float32 {
@@ -143,7 +182,7 @@ func (l *latencies) percentile(p float64) time.Duration {
 	return time.Duration(l.ns[i])
 }
 
-func run(addr string, conc int, duration time.Duration, k, prime int, writeRatio float64, noCache bool, seed int64) error {
+func run(addr string, conc int, duration time.Duration, k, prime int, writeRatio float64, noCache bool, seed int64, retries int, retryCap time.Duration) error {
 	c := &client{
 		base: "http://" + addr,
 		hc: &http.Client{
@@ -153,6 +192,8 @@ func run(addr string, conc int, duration time.Duration, k, prime int, writeRatio
 				MaxIdleConnsPerHost: conc * 2,
 			},
 		},
+		maxRetries: retries,
+		retryCap:   retryCap,
 	}
 
 	var st statsResponse
@@ -161,7 +202,7 @@ func run(addr string, conc int, duration time.Duration, k, prime int, writeRatio
 		return fmt.Errorf("is mustd running at %s? %w", addr, err)
 	}
 	data, err := io.ReadAll(resp.Body)
-	resp.Body.Close()
+	_ = resp.Body.Close()
 	if err != nil {
 		return err
 	}
@@ -198,12 +239,12 @@ func run(addr string, conc int, duration time.Duration, k, prime int, writeRatio
 			for i := range objs {
 				objs[i] = randObject(rng, st.Schema)
 			}
-			if _, err := c.post("/v1/insert", insertRequest{Objects: objs}, nil); err != nil {
+			if _, err := c.post(rng, "/v1/insert", insertRequest{Objects: objs}, nil); err != nil {
 				return fmt.Errorf("prime insert: %w", err)
 			}
 			done += n
 		}
-		if _, err := c.post("/v1/rebuild", struct{}{}, nil); err != nil {
+		if _, err := c.post(rng, "/v1/rebuild", struct{}{}, nil); err != nil {
 			return fmt.Errorf("prime rebuild: %w", err)
 		}
 		fmt.Printf("primed and built in %v\n", time.Since(start).Round(time.Millisecond))
@@ -231,11 +272,11 @@ func run(addr string, conc int, duration time.Duration, k, prime int, writeRatio
 			for time.Now().Before(deadline) {
 				if writeRatio > 0 && wrng.Float64() < writeRatio {
 					var ir insertResponse
-					if _, err := c.post("/v1/insert", insertRequest{Vectors: randObject(wrng, st.Schema)}, &ir); err != nil {
+					if _, err := c.post(wrng, "/v1/insert", insertRequest{Vectors: randObject(wrng, st.Schema)}, &ir); err != nil {
 						errs.Add(1)
 						continue
 					}
-					if _, err := c.post("/v1/delete", map[string][]int64{"ids": ir.IDs}, nil); err != nil {
+					if _, err := c.post(wrng, "/v1/delete", map[string][]int64{"ids": ir.IDs}, nil); err != nil {
 						errs.Add(1)
 						continue
 					}
@@ -244,7 +285,7 @@ func run(addr string, conc int, duration time.Duration, k, prime int, writeRatio
 				}
 				req := searchRequest{Vectors: pool[wrng.Intn(poolSize)], K: k, NoCache: noCache}
 				start := time.Now()
-				code, err := c.post("/v1/search", req, nil)
+				code, err := c.post(wrng, "/v1/search", req, nil)
 				if err != nil {
 					if code == http.StatusTooManyRequests {
 						shed.Add(1)
@@ -262,8 +303,8 @@ func run(addr string, conc int, duration time.Duration, k, prime int, writeRatio
 
 	sort.Slice(lat.ns, func(i, j int) bool { return lat.ns[i] < lat.ns[j] })
 	total := searches.Load()
-	fmt.Printf("\nsearches %d (%.0f/s)  writes %d  shed(429) %d  errors %d\n",
-		total, float64(total)/duration.Seconds(), writes.Load(), shed.Load(), errs.Load())
+	fmt.Printf("\nsearches %d (%.0f/s)  writes %d  retries %d  shed(429) %d  errors %d\n",
+		total, float64(total)/duration.Seconds(), writes.Load(), c.retried.Load(), shed.Load(), errs.Load())
 	if total > 0 {
 		fmt.Printf("latency p50 %v  p95 %v  p99 %v  max %v\n",
 			lat.percentile(0.50).Round(time.Microsecond),

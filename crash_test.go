@@ -1,0 +1,288 @@
+package must
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"must/internal/faultfs"
+	"must/internal/wal"
+)
+
+// errKilled stands in for the process dying at an injection point: the
+// I/O call never completes, and everything after it never runs.
+var errKilled = errors.New("killed at injection point")
+
+// crashInserts appends three deterministic acked inserts (seed 55) so
+// crashed and never-crashed runs can replay the same script.
+func crashInserts(t *testing.T, svc Service) []int64 {
+	t.Helper()
+	rng := rand.New(rand.NewSource(55))
+	ids := make([]int64, 3)
+	for i := range ids {
+		id, err := svc.Insert(durableRandObject(rng))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = id
+	}
+	return ids
+}
+
+// newestSegment returns the path of the highest-numbered WAL segment.
+func newestSegment(t *testing.T, walDir string) string {
+	t.Helper()
+	entries, err := os.ReadDir(walDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var segs []string
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) == ".seg" {
+			segs = append(segs, e.Name())
+		}
+	}
+	if len(segs) == 0 {
+		t.Fatal("no WAL segments")
+	}
+	sort.Strings(segs)
+	return filepath.Join(walDir, segs[len(segs)-1])
+}
+
+// TestCrashMatrixCheckpoint kills a checkpoint at every injection point
+// of the snapshot path — torn temp-file write, failed data fsync, failed
+// rename, failed directory fsync — and asserts that reopening from
+// whatever survived on disk (newest readable snapshot + WAL replay)
+// restores exactly the acked pre-crash state.
+func TestCrashMatrixCheckpoint(t *testing.T) {
+	cases := []struct {
+		name  string
+		fault faultfs.Fault
+	}{
+		// The temp file write tears mid-buffer: 7 bytes land, the rest
+		// never reaches the kernel.
+		{"torn-tmp-write", faultfs.Fault{Op: faultfs.OpWrite, PathContains: ".tmp", Short: 7, Err: errKilled}},
+		// Crash before the temp file's data is on stable storage.
+		{"pre-sync", faultfs.Fault{Op: faultfs.OpSync, PathContains: ".tmp", Err: errKilled}},
+		// Data synced, crash before the rename makes it visible.
+		{"post-sync-pre-rename", faultfs.Fault{Op: faultfs.OpRename, Err: errKilled}},
+		// Renamed, crash before the directory entry is durable.
+		{"post-rename-dir-sync", faultfs.Fault{Op: faultfs.OpSyncDir, Err: errKilled}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			walDir := filepath.Join(dir, "wal")
+			snap := filepath.Join(dir, "engine.bin")
+			ffs := faultfs.Wrap(faultfs.OS)
+			ds, _, err := OpenDurable(newDurableEngine(t, 1), walDir, DurableOptions{fs: ffs})
+			if err != nil {
+				t.Fatal(err)
+			}
+			runWorkload(t, ds, 32)
+			if err := ds.Checkpoint(snap); err != nil {
+				t.Fatal(err)
+			}
+			crashInserts(t, ds) // acked after the good checkpoint
+
+			ffs.Inject(tc.fault)
+			if err := ds.Checkpoint(snap); err == nil {
+				t.Fatal("checkpoint at injection point reported success")
+			}
+			if len(ffs.Fired()) == 0 {
+				t.Fatal("fault never fired — injection point not exercised")
+			}
+			// kill -9: the service is abandoned without Close; only what is
+			// on disk survives.
+			ffs.Clear()
+
+			eng, err := LoadService(snap)
+			if err != nil {
+				t.Fatalf("snapshot unreadable after crashed checkpoint: %v", err)
+			}
+			ds2, _, err := OpenDurable(eng, walDir, DurableOptions{fs: ffs})
+			if err != nil {
+				t.Fatalf("reopen: %v", err)
+			}
+			defer ds2.Close()
+
+			never := newDurableEngine(t, 1)
+			runWorkload(t, never, 32)
+			crashInserts(t, never)
+			sameCorpus(t, ds2, never)
+		})
+	}
+}
+
+// TestCrashTornWalTail simulates kill -9 mid-append: a frame header
+// promising 64 bytes with only 10 behind it sits at the tail of the live
+// segment. Recovery must discard exactly the torn frame and keep every
+// acked record.
+func TestCrashTornWalTail(t *testing.T) {
+	dir := t.TempDir()
+	walDir := filepath.Join(dir, "wal")
+	ds, _, err := OpenDurable(newDurableEngine(t, 1), walDir, DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runWorkload(t, ds, 32)
+	// Abandoned without Close; fsync=always means every acked record is
+	// already on disk. Tear the in-flight frame onto the tail by hand.
+	seg := newestSegment(t, walDir)
+	f, err := os.OpenFile(seg, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hdr := make([]byte, 8)
+	binary.LittleEndian.PutUint32(hdr, 64)
+	binary.LittleEndian.PutUint32(hdr[4:], 0xdeadbeef)
+	if _, err := f.Write(append(hdr, make([]byte, 10)...)); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	ds2, replayed, err := OpenDurable(newDurableEngine(t, 1), walDir, DurableOptions{})
+	if err != nil {
+		t.Fatalf("reopen after torn tail: %v", err)
+	}
+	defer ds2.Close()
+	if replayed == 0 {
+		t.Fatal("nothing replayed")
+	}
+	never := newDurableEngine(t, 1)
+	runWorkload(t, never, 32)
+	sameCorpus(t, ds2, never)
+}
+
+// TestCrashShortWalAppend: the disk tears an append mid-frame and the
+// write errors. The insert is not acked, the service poisons itself, and
+// recovery truncates the torn bytes — the reopened state is exactly the
+// acked prefix.
+func TestCrashShortWalAppend(t *testing.T) {
+	dir := t.TempDir()
+	walDir := filepath.Join(dir, "wal")
+	ffs := faultfs.Wrap(faultfs.OS)
+	ds, _, err := OpenDurable(newDurableEngine(t, 1), walDir, DurableOptions{fs: ffs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	acked := crashInserts(t, ds)
+
+	ffs.Inject(faultfs.Fault{Op: faultfs.OpWrite, PathContains: ".seg", Short: 5, Err: errKilled})
+	rng := rand.New(rand.NewSource(91))
+	if _, err := ds.Insert(durableRandObject(rng)); !errors.Is(err, errKilled) {
+		t.Fatalf("torn append acked the insert: %v", err)
+	}
+	ffs.Clear()
+
+	ds2, replayed, err := OpenDurable(newDurableEngine(t, 1), walDir, DurableOptions{fs: ffs})
+	if err != nil {
+		t.Fatalf("reopen after torn append: %v", err)
+	}
+	defer ds2.Close()
+	if replayed != len(acked) {
+		t.Fatalf("replayed %d records, want the %d acked", replayed, len(acked))
+	}
+	never := newDurableEngine(t, 1)
+	crashInserts(t, never)
+	sameCorpus(t, ds2, never)
+}
+
+// TestCrashCorruptMidSegmentFailsLoudly: a bit-flip inside an acked
+// record — not at the tail — must refuse to open rather than silently
+// resurrect a prefix of history.
+func TestCrashCorruptMidSegmentFailsLoudly(t *testing.T) {
+	dir := t.TempDir()
+	walDir := filepath.Join(dir, "wal")
+	ds, _, err := OpenDurable(newDurableEngine(t, 1), walDir, DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	crashInserts(t, ds) // several frames so the flipped one is mid-log
+	seg := newestSegment(t, walDir)
+	// Offset 8 (segment magic) + 8 (frame header) + 3 lands inside the
+	// first record's payload.
+	if err := faultfs.FlipByte(seg, 8+8+3, 0x40); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, _, err := OpenDurable(newDurableEngine(t, 1), walDir, DurableOptions{}); !errors.Is(err, wal.ErrCorrupt) {
+		t.Fatalf("mid-segment corruption opened with err = %v, want ErrCorrupt", err)
+	}
+}
+
+// TestLoadEngineV1Compat: MUSTEG1 snapshots (no epoch field) still load,
+// with epoch 0 so a WAL replay applies everything.
+func TestLoadEngineV1Compat(t *testing.T) {
+	e, err := NewEngine(durableSchema, EngineOptions{Build: BuildOptions{Gamma: 8, Seed: 42}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 10; i++ {
+		if _, err := e.Insert(durableRandObject(rng)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Build(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := e.SaveTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	blob := buf.Bytes()
+
+	// Reconstruct the v1 layout: same bytes minus the epoch u64, under
+	// the old magic. The epoch sits right after nextID.
+	off := 8 + 4 // magic, m
+	for _, m := range durableSchema {
+		off += 4 + len(m.Name) + 4 // nameLen, name, dim
+	}
+	off += 4 * len(durableSchema) // weights
+	off += 4 + 4 + 4 + 8          // gamma, iterations, algorithm, seed
+	off += 8                      // nextID
+	v1 := make([]byte, 0, len(blob)-8)
+	v1 = append(v1, blob[:off]...)
+	v1 = append(v1, blob[off+8:]...)
+	copy(v1[:8], "MUSTEG1\n")
+
+	e1, err := ReadEngine(bytes.NewReader(v1))
+	if err != nil {
+		t.Fatalf("v1 snapshot failed to load: %v", err)
+	}
+	if e1.Epoch() != 0 {
+		t.Fatalf("v1 engine epoch = %d, want 0", e1.Epoch())
+	}
+	if e1.Len() != e.Len() {
+		t.Fatalf("v1 engine has %d objects, want %d", e1.Len(), e.Len())
+	}
+	for id := int64(0); id < 10; id++ {
+		a, err := e.Object(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := e1.Object(id)
+		if err != nil {
+			t.Fatalf("object %d missing from v1 load: %v", id, err)
+		}
+		for name, av := range a {
+			bv := b[name]
+			if len(av) != len(bv) {
+				t.Fatalf("id %d modality %q shape differs", id, name)
+			}
+			for i := range av {
+				if av[i] != bv[i] {
+					t.Fatalf("id %d modality %q[%d]: %v vs %v", id, name, i, av[i], bv[i])
+				}
+			}
+		}
+	}
+}

@@ -231,11 +231,13 @@ func (e *Engine) Deleted() int {
 }
 
 // Object returns a copy of a stored object's vectors by modality name.
+// Tombstoned objects are unknown: once deleted, an ID stays invisible
+// here even though its row still routes until the next Rebuild.
 func (e *Engine) Object(id int64) (NamedVectors, error) {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	slot, ok := e.lookup[id]
-	if !ok {
+	if !ok || (e.ix != nil && slot < len(e.ix.dead) && e.ix.dead[slot]) {
 		return nil, fmt.Errorf("must: %w %d", ErrUnknownID, id)
 	}
 	out := make(NamedVectors, len(e.schema))
@@ -673,14 +675,31 @@ func (e *Engine) SearchEach(ctx context.Context, queries []Query, workers int) (
 		go func(wk int) {
 			defer wg.Done()
 			s := pool.Get().(*search.Searcher)
-			defer pool.Put(s)
 			for i := wk; i < len(queries); i += workers {
-				out[i], errs[i] = e.searchOneLocked(ctx, s, queries[i])
+				out[i], errs[i] = e.searchOneRecovered(ctx, &s, pool, queries[i])
+			}
+			if s != nil {
+				pool.Put(s)
 			}
 		}(wk)
 	}
 	wg.Wait()
 	return out, errs
+}
+
+// searchOneRecovered runs one query, converting a panic (e.g. from a
+// user-supplied Query.Filter) into that query's error instead of
+// killing the process. The panicked searcher's internal state is
+// suspect, so it is dropped on the floor and the worker continues with
+// a fresh one from the pool; *sp is nil transiently while swapping.
+func (e *Engine) searchOneRecovered(ctx context.Context, sp **search.Searcher, pool *sync.Pool, q Query) (resp *Response, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			resp, err = nil, fmt.Errorf("must: search panicked: %v", r)
+			*sp = pool.Get().(*search.Searcher)
+		}
+	}()
+	return e.searchOneLocked(ctx, *sp, q)
 }
 
 // ExactSearch answers one typed query by exhaustive scan (the paper's

@@ -220,7 +220,7 @@ func SaveEncoded(path string, e *Encoded) error {
 		return err
 	}
 	if err := WriteEncoded(f, e); err != nil {
-		f.Close()
+		_ = f.Close()
 		return err
 	}
 	return f.Close()
@@ -232,6 +232,6 @@ func LoadEncoded(path string) (*Encoded, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
+	defer func() { _ = f.Close() }()
 	return ReadEncoded(f)
 }

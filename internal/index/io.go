@@ -330,7 +330,7 @@ func (f *Fused) Save(path string) error {
 		return err
 	}
 	if err := f.Write(file); err != nil {
-		file.Close()
+		_ = file.Close()
 		return err
 	}
 	return file.Close()
@@ -342,6 +342,6 @@ func Load(path string, store *vec.FlatStore) (*Fused, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer file.Close()
+	defer func() { _ = file.Close() }()
 	return ReadFused(file, store)
 }

@@ -57,6 +57,12 @@ type SearchResponse struct {
 	// engine batch that served this one (1 = alone; 0 when cached or
 	// batching is disabled).
 	BatchSize int `json:"batch_size,omitempty"`
+	// Partial reports a degraded sharded search: matches cover only the
+	// shards that answered before the deadline; ShardErrors lists the
+	// rest. Partial responses are never served from (or stored in) the
+	// result cache.
+	Partial     bool              `json:"partial,omitempty"`
+	ShardErrors []must.ShardError `json:"shard_errors,omitempty"`
 	// Stats reports the routing work the engine performed.
 	Stats SearchWork `json:"stats"`
 }
@@ -116,6 +122,11 @@ type ServerStats struct {
 	AvgBatchSize   float64 `json:"avg_batch_size"`
 	InFlight       int64   `json:"in_flight"`
 	Rejected       uint64  `json:"rejected"`
+	// PartialResults counts searches answered degraded (some shards
+	// failed or timed out); BatchPanics counts engine panics recovered
+	// in batch dispatch.
+	PartialResults uint64 `json:"partial_results"`
+	BatchPanics    uint64 `json:"batch_panics"`
 }
 
 // StatsResponse is the GET /v1/stats reply.

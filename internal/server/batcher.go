@@ -3,6 +3,7 @@ package server
 import (
 	"context"
 	"errors"
+	"fmt"
 	"sync"
 	"time"
 
@@ -28,6 +29,8 @@ type batcher struct {
 	workers  int
 	// onBatch observes each dispatched batch's size (metrics hook).
 	onBatch func(size int)
+	// onPanic observes each recovered dispatch panic (metrics hook).
+	onPanic func()
 
 	in   chan *pending
 	stop chan struct{}
@@ -53,7 +56,7 @@ type batchResult struct {
 
 // newBatcher starts the dispatcher goroutine. maxBatch ≤ 0 defaults to
 // 64, maxDelay ≤ 0 to 1ms; workers ≤ 0 lets the engine pick.
-func newBatcher(eng must.Service, maxBatch int, maxDelay time.Duration, workers int, onBatch func(int)) *batcher {
+func newBatcher(eng must.Service, maxBatch int, maxDelay time.Duration, workers int, onBatch func(int), onPanic func()) *batcher {
 	if maxBatch <= 0 {
 		maxBatch = 64
 	}
@@ -66,6 +69,7 @@ func newBatcher(eng must.Service, maxBatch int, maxDelay time.Duration, workers 
 		maxDelay: maxDelay,
 		workers:  workers,
 		onBatch:  onBatch,
+		onPanic:  onPanic,
 		in:       make(chan *pending, 4*maxBatch),
 		stop:     make(chan struct{}),
 		done:     make(chan struct{}),
@@ -196,6 +200,31 @@ func (b *batcher) dispatch(batch []*pending) {
 	for i, p := range live {
 		queries[i] = p.q
 	}
+	resps, errs := b.searchRecovered(queries)
+	for i, p := range live {
+		p.out <- batchResult{resp: resps[i], size: len(live), err: errs[i]}
+	}
+}
+
+// searchRecovered runs the engine call for one batch, converting a
+// panic into a per-request error. Without the recover, one poisoned
+// query (or engine bug) in a coalesced batch would kill the whole
+// daemon from the dispatcher goroutine; with it, only this batch's
+// requests see a 500 and the dispatcher keeps serving.
+func (b *batcher) searchRecovered(queries []must.Query) (resps []*must.Response, errs []error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if b.onPanic != nil {
+				b.onPanic()
+			}
+			err := fmt.Errorf("batch dispatch panicked: %v", r)
+			resps = make([]*must.Response, len(queries))
+			errs = make([]error, len(queries))
+			for i := range errs {
+				errs[i] = err
+			}
+		}
+	}()
 	// The batch deliberately runs under its own bounded context, not any
 	// request's: a client that cancels mid-batch gets its answer slot
 	// dropped (the select in Search already returned), but must not be
@@ -203,9 +232,6 @@ func (b *batcher) dispatch(batch []*pending) {
 	// batch is bounded (≤ maxBatch short routing walks), so the deadline
 	// is a backstop, not a tuning knob.
 	bctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
-	resps, errs := b.eng.SearchEach(bctx, queries, b.workers)
-	cancel()
-	for i, p := range live {
-		p.out <- batchResult{resp: resps[i], size: len(live), err: errs[i]}
-	}
+	defer cancel()
+	return b.eng.SearchEach(bctx, queries, b.workers)
 }

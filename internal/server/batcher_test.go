@@ -74,7 +74,7 @@ func TestBatcherCoalesces(t *testing.T) {
 		batches++
 		queriesServed += size
 		mu.Unlock()
-	})
+	}, nil)
 	defer b.Close()
 
 	const clients = 32
@@ -123,7 +123,7 @@ func TestBatcherCoalesces(t *testing.T) {
 // cancelled returns promptly, and its batch companions are unharmed.
 func TestBatcherCancellation(t *testing.T) {
 	eng, queries, ids := testEngine(t, 500)
-	b := newBatcher(eng, 64, 50*time.Millisecond, 0, nil) // long window: requests wait in the batch
+	b := newBatcher(eng, 64, 50*time.Millisecond, 0, nil, nil) // long window: requests wait in the batch
 	defer b.Close()
 
 	ctx, cancel := context.WithCancel(context.Background())
@@ -160,7 +160,7 @@ func TestBatcherCancellation(t *testing.T) {
 // alone.
 func TestBatcherPerQueryErrors(t *testing.T) {
 	eng, queries, ids := testEngine(t, 400)
-	b := newBatcher(eng, 8, 20*time.Millisecond, 0, nil)
+	b := newBatcher(eng, 8, 20*time.Millisecond, 0, nil, nil)
 	defer b.Close()
 
 	bad := must.Query{Vectors: must.NamedVectors{"sound": {1, 2, 3}}}
@@ -200,7 +200,7 @@ func TestBatcherPerQueryErrors(t *testing.T) {
 // later submits are refused with ErrDraining.
 func TestBatcherCloseDrains(t *testing.T) {
 	eng, queries, _ := testEngine(t, 400)
-	b := newBatcher(eng, 4, 30*time.Millisecond, 0, nil)
+	b := newBatcher(eng, 4, 30*time.Millisecond, 0, nil, nil)
 
 	const n = 16
 	var wg sync.WaitGroup

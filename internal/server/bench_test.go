@@ -51,7 +51,7 @@ func BenchmarkServePipeline(b *testing.B) {
 	})
 
 	b.Run("batched", func(b *testing.B) {
-		bat := newBatcher(eng, 64, time.Millisecond, 0, nil)
+		bat := newBatcher(eng, 64, time.Millisecond, 0, nil, nil)
 		defer bat.Close()
 		b.SetParallelism(64)
 		b.ReportAllocs()

@@ -28,6 +28,12 @@ type Metrics struct {
 
 	inFlight atomic.Int64
 	rejected atomic.Uint64
+
+	// partialResults counts searches answered degraded (some shards
+	// failed or timed out); batchPanics counts engine panics recovered
+	// in the batcher's dispatch path.
+	partialResults atomic.Uint64
+	batchPanics    atomic.Uint64
 }
 
 type requestKey struct {
@@ -126,6 +132,13 @@ func (m *Metrics) BatchCounters() (uint64, uint64) {
 	return m.batches.Load(), m.batchedQueries.Load()
 }
 
+// ObservePartial records one search served with partial (degraded)
+// results.
+func (m *Metrics) ObservePartial() { m.partialResults.Add(1) }
+
+// ObserveBatchPanic records one recovered panic in batch dispatch.
+func (m *Metrics) ObserveBatchPanic() { m.batchPanics.Add(1) }
+
 // WritePrometheus renders the registry — plus cache counters and engine
 // gauges sampled now — in Prometheus text exposition format.
 func (m *Metrics) WritePrometheus(w io.Writer, eng must.Service, cache *resultCache) {
@@ -182,6 +195,13 @@ func (m *Metrics) WritePrometheus(w io.Writer, eng must.Service, cache *resultCa
 	fmt.Fprintln(w, "# HELP mustd_rejected_total Requests rejected by admission control (429).")
 	fmt.Fprintln(w, "# TYPE mustd_rejected_total counter")
 	fmt.Fprintf(w, "mustd_rejected_total %d\n", m.rejected.Load())
+
+	fmt.Fprintln(w, "# HELP must_partial_results_total Searches answered degraded: some shards failed or missed the deadline.")
+	fmt.Fprintln(w, "# TYPE must_partial_results_total counter")
+	fmt.Fprintf(w, "must_partial_results_total %d\n", m.partialResults.Load())
+	fmt.Fprintln(w, "# HELP must_batch_panics_total Engine panics recovered in batch dispatch (each fails only its own batch).")
+	fmt.Fprintln(w, "# TYPE must_batch_panics_total counter")
+	fmt.Fprintf(w, "must_batch_panics_total %d\n", m.batchPanics.Load())
 
 	// Engine gauges, sampled at scrape time.
 	fmt.Fprintln(w, "# HELP mustd_engine_objects Live (non-tombstoned) objects.")

@@ -102,7 +102,7 @@ func New(eng must.Service, cfg Config) *Server {
 		s.byName[m.Name] = i
 	}
 	if !cfg.DisableBatching {
-		s.batcher = newBatcher(eng, cfg.MaxBatch, cfg.BatchDelay, cfg.BatchWorkers, s.metrics.ObserveBatch)
+		s.batcher = newBatcher(eng, cfg.MaxBatch, cfg.BatchDelay, cfg.BatchWorkers, s.metrics.ObserveBatch, s.metrics.ObserveBatchPanic)
 	}
 	mux := http.NewServeMux()
 	mux.Handle("/v1/search", s.endpoint("search", http.MethodPost, true, s.handleSearch))
@@ -221,7 +221,14 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		s.writeSearchError(w, err)
 		return
 	}
-	s.cache.Put(key, epoch, resp)
+	if resp.Partial {
+		// A degraded answer must not outlive the sick shard that caused
+		// it: serving it from the cache would turn a transient blip into
+		// sticky recall loss for the epoch.
+		s.metrics.ObservePartial()
+	} else {
+		s.cache.Put(key, epoch, resp)
+	}
 	writeJSON(w, s.searchResponse(resp, start, size, false))
 }
 
@@ -237,6 +244,8 @@ func (s *Server) searchResponse(resp *must.Response, start time.Time, batchSize 
 		EngineTimeMS: float64(resp.Latency) / float64(time.Millisecond),
 		Cached:       cached,
 		BatchSize:    batchSize,
+		Partial:      resp.Partial,
+		ShardErrors:  resp.ShardErrors,
 		Stats: SearchWork{
 			FullEvals:    resp.Stats.FullEvals,
 			PartialSkips: resp.Stats.PartialSkips,
@@ -380,6 +389,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			AvgBatchSize:   avg,
 			InFlight:       s.metrics.inFlight.Load(),
 			Rejected:       s.metrics.rejected.Load(),
+			PartialResults: s.metrics.partialResults.Load(),
+			BatchPanics:    s.metrics.batchPanics.Load(),
 		},
 		Shards: shards,
 	})

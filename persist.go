@@ -401,16 +401,21 @@ func readCollectionBody(br *bufio.Reader) (*Collection, error) {
 
 // Engine binary format, little-endian:
 //
-//	magic "MUSTEG1\n"
+//	magic "MUSTEG2\n" (v1 files with "MUSTEG1\n" still load)
 //	schema: m uint32, m × (nameLen uint32, name bytes, dim uint32)
 //	weights: m × float32
 //	build: gamma uint32, iterations uint32, algorithm uint32, seed int64
 //	nextID uint64
+//	epoch uint64 (v2 only; the mutation epoch at snapshot time — WAL
+//	  replay applies only records logged after it. v1 loads as epoch 0.)
 //	ids: n uint32, n × uint64
 //	tombstones: n × uint8
 //	collection body (v4 format, see above; v1-v3 bodies load too)
 //	built uint8; if 1: index body (internal/index format)
-var egMagic = [8]byte{'M', 'U', 'S', 'T', 'E', 'G', '1', '\n'}
+var (
+	egMagic  = [8]byte{'M', 'U', 'S', 'T', 'E', 'G', '1', '\n'}
+	egMagic2 = [8]byte{'M', 'U', 'S', 'T', 'E', 'G', '2', '\n'}
+)
 
 // SaveTo serializes the whole engine — schema, weights, build options,
 // objects, stable IDs, tombstones, and the built graph — to w. The engine
@@ -423,7 +428,7 @@ func (e *Engine) SaveTo(w io.Writer) error {
 		return fmt.Errorf("must: engine has %d objects, persistence caps at %d", e.c.Len(), maxPersistObjects)
 	}
 	bw := bufio.NewWriterSize(w, 1<<20)
-	if _, err := bw.Write(egMagic[:]); err != nil {
+	if _, err := bw.Write(egMagic2[:]); err != nil {
 		return err
 	}
 	if err := binary.Write(bw, binary.LittleEndian, uint32(len(e.schema))); err != nil {
@@ -456,6 +461,9 @@ func (e *Engine) SaveTo(w io.Writer) error {
 		return err
 	}
 	if err := binary.Write(bw, binary.LittleEndian, uint64(e.nextID)); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, e.epoch); err != nil {
 		return err
 	}
 	n := e.c.Len()
@@ -504,7 +512,7 @@ func (e *Engine) Save(path string) error {
 		return err
 	}
 	if err := e.SaveTo(f); err != nil {
-		f.Close()
+		_ = f.Close()
 		return err
 	}
 	return f.Close()
@@ -519,9 +527,10 @@ func ReadEngine(r io.Reader) (*Engine, error) {
 	if _, err := io.ReadFull(br, got[:]); err != nil {
 		return nil, fmt.Errorf("must: reading engine magic: %w", err)
 	}
-	if got != egMagic {
+	if got != egMagic && got != egMagic2 {
 		return nil, fmt.Errorf("must: bad engine magic %q", got[:])
 	}
+	hasEpoch := got == egMagic2
 	readU32 := func() (uint32, error) {
 		var x uint32
 		err := binary.Read(br, binary.LittleEndian, &x)
@@ -575,6 +584,12 @@ func ReadEngine(r io.Reader) (*Engine, error) {
 	if err := binary.Read(br, binary.LittleEndian, &nextID); err != nil {
 		return nil, err
 	}
+	var epoch uint64
+	if hasEpoch {
+		if err := binary.Read(br, binary.LittleEndian, &epoch); err != nil {
+			return nil, err
+		}
+	}
 	n, err := readU32()
 	if err != nil {
 		return nil, err
@@ -622,6 +637,7 @@ func ReadEngine(r io.Reader) (*Engine, error) {
 		e.quantize = true
 	}
 	e.nextID = int64(nextID)
+	e.epoch = epoch
 	e.ids = ids
 	for slot, id := range ids {
 		e.lookup[id] = slot
@@ -655,7 +671,7 @@ func LoadEngine(path string) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
+	defer func() { _ = f.Close() }()
 	return ReadEngine(f)
 }
 
@@ -666,7 +682,7 @@ func SaveCollection(path string, c *Collection) error {
 		return err
 	}
 	if err := WriteCollection(f, c); err != nil {
-		f.Close()
+		_ = f.Close()
 		return err
 	}
 	return f.Close()
@@ -678,6 +694,6 @@ func LoadCollection(path string) (*Collection, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
+	defer func() { _ = f.Close() }()
 	return ReadCollection(f)
 }

@@ -153,4 +153,22 @@ type Response struct {
 	// Latency is the wall-clock time the search took, including
 	// validation and result assembly.
 	Latency time.Duration
+	// Partial reports a degraded sharded search: at least one shard
+	// answered and at least one failed (error, panic, or deadline), so
+	// Matches cover only part of the corpus. A single Engine never sets
+	// it, and a sharded search where every shard fails returns an error
+	// instead of a partial Response.
+	Partial bool
+	// ShardErrors lists what went wrong on each failed shard when
+	// Partial is set.
+	ShardErrors []ShardError
+}
+
+// ShardError describes one shard's failure within a degraded fan-out.
+type ShardError struct {
+	// Shard is the failing shard's index.
+	Shard int `json:"shard"`
+	// Err is the failure rendered as text (JSON-friendly: responses
+	// cross the serving boundary).
+	Err string `json:"error"`
 }

@@ -137,4 +137,49 @@ curl -sf "http://$addr/v1/stats" | grep -q '"state":"built"' \
 kill -TERM "$daemon_pid"
 wait "$daemon_pid" || fail "restored sharded daemon exited non-zero"
 
-echo "mustd smoke test passed (single + 4-shard)"
+# --- WAL crash pass: acked writes must survive kill -9. Boot with a
+# write-ahead log, ack a batch of inserts, kill the daemon without any
+# drain, restart on the same log, and require every acked object back.
+"$workdir/mustd" -addr "$addr" -schema image:8,text:4 -wal "$workdir/wal" \
+  >"$workdir/mustd5.log" 2>&1 &
+daemon_pid=$!
+for _ in $(seq 1 50); do
+  curl -sf "http://$addr/healthz" >/dev/null 2>&1 && break
+  sleep 0.1
+done
+curl -sf "http://$addr/healthz" | grep -q ok || fail "wal daemon never became healthy: $(cat "$workdir/mustd5.log")"
+
+curl -sf -X POST "http://$addr/v1/insert" -d '{
+  "objects": [
+    {"image":[1,0,0,0,0,0,0,0], "text":[1,0,0,0]},
+    {"image":[0,1,0,0,0,0,0,0], "text":[0,1,0,0]},
+    {"image":[0,0,1,0,0,0,0,0], "text":[0,0,1,0]},
+    {"image":[0,0,0,1,0,0,0,0], "text":[0,0,0,1]}
+  ]}' | grep -q '"ids"' || fail "wal insert failed"
+curl -sf -X POST "http://$addr/v1/rebuild" -d '{}' | grep -q '"built":true' || fail "wal rebuild failed"
+curl -sf -X POST "http://$addr/v1/insert" \
+  -d '{"vectors":{"image":[0,0,0,0,1,0,0,0],"text":[1,1,0,0]}}' \
+  | grep -q '"ids":\[4\]' || fail "wal post-build insert failed"
+
+# kill -9: no drain, no snapshot — only the WAL survives.
+kill -9 "$daemon_pid"
+wait "$daemon_pid" 2>/dev/null || true
+ls "$workdir/wal"/*.seg >/dev/null 2>&1 || fail "no WAL segments on disk after kill -9"
+
+"$workdir/mustd" -addr "$addr" -schema image:8,text:4 -wal "$workdir/wal" \
+  >"$workdir/mustd6.log" 2>&1 &
+daemon_pid=$!
+for _ in $(seq 1 50); do
+  curl -sf "http://$addr/healthz" >/dev/null 2>&1 && break
+  sleep 0.1
+done
+grep -q "replayed" "$workdir/mustd6.log" || fail "restart did not replay the WAL: $(cat "$workdir/mustd6.log")"
+curl -sf "http://$addr/v1/stats" | grep -q '"objects":5' \
+  || fail "acked writes lost across kill -9: $(curl -s "http://$addr/v1/stats")"
+curl -sf -X POST "http://$addr/v1/search" \
+  -d '{"vectors":{"image":[0,0,0,0,1,0,0,0],"text":[1,1,0,0]},"k":1}' \
+  | grep -q '"id":4' || fail "post-build acked insert not searchable after replay"
+kill -TERM "$daemon_pid"
+wait "$daemon_pid" || fail "wal daemon exited non-zero on SIGTERM"
+
+echo "mustd smoke test passed (single + 4-shard + WAL crash recovery)"

@@ -520,6 +520,15 @@ func (s *ShardedEngine) Search(ctx context.Context, q Query) (*Response, error) 
 // Query.Filter receives global IDs, exactly as with a single engine.
 // Merged Stats are summed across shards and Latency is the slowest
 // shard's (the critical path of the fan-out).
+//
+// Fan-out degrades instead of failing: each shard runs in its own
+// worker with panic recovery, and the collector stops waiting when ctx
+// expires. A query whose shards partly succeeded returns a Response
+// with Partial set and the failures listed in ShardErrors — one sick or
+// hanging shard costs recall, not availability. Only a query that every
+// shard failed gets an error (so validation errors, which fail on all
+// shards identically, surface exactly as before). Abandoned shard
+// workers observe ctx themselves and exit shortly after.
 func (s *ShardedEngine) SearchEach(ctx context.Context, queries []Query, workers int) ([]*Response, []error) {
 	if len(queries) == 0 {
 		return nil, nil
@@ -553,29 +562,62 @@ func (s *ShardedEngine) SearchEach(ctx context.Context, queries []Query, workers
 		errs  []error
 	}
 	results := make([]shardOut, len(active))
-	_ = shard.Do(len(active), 0, func(ai int) error {
-		j := active[ai]
-		qs := queries
-		// Rewrite filters into the shard's local-ID domain; the query
-		// slice is copied only when some query actually has a filter.
-		for i := range queries {
-			if queries[i].Filter != nil {
-				qs = make([]Query, len(queries))
-				copy(qs, queries)
-				for i := range qs {
-					if f := qs[i].Filter; f != nil {
-						qs[i].Filter = func(local int64) bool {
-							return f(shard.Global(j, local, n))
+	done := make([]chan struct{}, len(active))
+	for ai := range active {
+		done[ai] = make(chan struct{})
+	}
+	for ai := range active {
+		go func(ai int) {
+			defer close(done[ai])
+			j := active[ai]
+			defer func() {
+				if r := recover(); r != nil {
+					perr := fmt.Errorf("must: shard %d panicked: %v", j, r)
+					es := make([]error, len(queries))
+					for i := range es {
+						es[i] = perr
+					}
+					results[ai] = shardOut{errs: es}
+				}
+			}()
+			qs := queries
+			// Rewrite filters into the shard's local-ID domain; the query
+			// slice is copied only when some query actually has a filter.
+			for i := range queries {
+				if queries[i].Filter != nil {
+					qs = make([]Query, len(queries))
+					copy(qs, queries)
+					for i := range qs {
+						if f := qs[i].Filter; f != nil {
+							qs[i].Filter = func(local int64) bool {
+								return f(shard.Global(j, local, n))
+							}
 						}
 					}
+					break
 				}
-				break
+			}
+			r, e := s.shards[j].SearchEach(ctx, qs, perShard)
+			results[ai] = shardOut{r, e}
+		}(ai)
+	}
+	// Collect until the deadline: a shard that has not finished when ctx
+	// expires is reported as failed and its worker abandoned (it bails
+	// out on its own — per-query searches check ctx — and only touches
+	// its own results slot, which no one reads).
+	finished := make([]bool, len(active))
+	for ai := range active {
+		select {
+		case <-done[ai]:
+			finished[ai] = true
+		case <-ctx.Done():
+			select {
+			case <-done[ai]:
+				finished[ai] = true
+			default:
 			}
 		}
-		r, e := s.shards[j].SearchEach(ctx, qs, perShard)
-		results[ai] = shardOut{r, e}
-		return nil
-	})
+	}
 	for i := range queries {
 		k := queries[i].K
 		if k == 0 {
@@ -585,10 +627,18 @@ func (s *ShardedEngine) SearchEach(ctx context.Context, queries []Query, workers
 		var stats SearchStats
 		var latency time.Duration
 		var qerr error
+		var shardErrs []ShardError
 		for ai, j := range active {
+			if !finished[ai] {
+				shardErrs = append(shardErrs, ShardError{Shard: j, Err: ctx.Err().Error()})
+				continue
+			}
 			if e := results[ai].errs[i]; e != nil {
-				qerr = e
-				break
+				if qerr == nil {
+					qerr = e
+				}
+				shardErrs = append(shardErrs, ShardError{Shard: j, Err: e.Error()})
+				continue
 			}
 			resp := results[ai].resps[i]
 			// Matches are cloned out of searcher buffers by the shard, so
@@ -604,14 +654,25 @@ func (s *ShardedEngine) SearchEach(ctx context.Context, queries []Query, workers
 				latency = resp.Latency
 			}
 		}
-		if qerr != nil {
+		if len(lists) == 0 {
+			// Every shard failed this query: surface the first concrete
+			// error (preserving errors.Is matching for validation failures,
+			// ErrNotBuilt, ...), or the deadline if no shard got that far.
+			if qerr == nil {
+				qerr = ctx.Err()
+			}
 			errs[i] = qerr
 			continue
 		}
 		merged := shard.MergeTopK(lists, k, func(a, b ScoredMatch) bool {
 			return a.Similarity > b.Similarity
 		})
-		out[i] = &Response{Matches: merged, Stats: stats, Latency: latency}
+		resp := &Response{Matches: merged, Stats: stats, Latency: latency}
+		if len(shardErrs) > 0 {
+			resp.Partial = true
+			resp.ShardErrors = shardErrs
+		}
+		out[i] = resp
 	}
 	return out, errs
 }

@@ -13,12 +13,13 @@ import (
 )
 
 // MUSTSH1 sharded container: a small header followed by one embedded
-// MUSTEG1 engine blob per shard, each preceded by its byte length.
+// engine blob (MUSTEG2; MUSTEG1 in older files) per shard, each
+// preceded by its byte length.
 //
 //	magic   [8]byte  "MUSTSH1\n"
 //	shards  uint32   shard count S (1..shard.MaxShards)
 //	rr      uint64   round-robin insert cursor
-//	S × { size uint64; blob [size]byte }   MUSTEG1 blobs, shard order
+//	S × { size uint64; blob [size]byte }   engine blobs, shard order
 //
 // The explicit per-blob length exists because ReadEngine buffers its
 // reader internally (its read-ahead would otherwise consume bytes of the
@@ -66,7 +67,7 @@ func (s *ShardedEngine) Save(path string) error {
 		return err
 	}
 	if err := s.SaveTo(f); err != nil {
-		f.Close()
+		_ = f.Close()
 		return err
 	}
 	return f.Close()
@@ -161,7 +162,7 @@ func LoadShardedEngine(path string) (*ShardedEngine, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
+	defer func() { _ = f.Close() }()
 	fi, err := f.Stat()
 	if err != nil {
 		return nil, err
@@ -204,7 +205,7 @@ func LoadShardedEngine(path string) (*ShardedEngine, error) {
 
 // LoadService reads an engine snapshot from the file at path, sniffing
 // the container magic: MUSTSH1 loads a ShardedEngine (shards in
-// parallel), MUSTEG1 a single Engine. This is what serving layers use to
+// parallel), MUSTEG1/2 a single Engine. This is what serving layers use to
 // restore whichever engine kind produced the snapshot.
 func LoadService(path string) (Service, error) {
 	f, err := os.Open(path)
@@ -213,7 +214,7 @@ func LoadService(path string) (Service, error) {
 	}
 	var got [8]byte
 	_, rerr := io.ReadFull(f, got[:])
-	f.Close()
+	_ = f.Close()
 	if rerr != nil {
 		return nil, fmt.Errorf("must: reading snapshot magic: %w", rerr)
 	}
