@@ -1,0 +1,139 @@
+package must
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestAdmissionOptionsValidate(t *testing.T) {
+	e := newSingle(t, shardedObjects(10, 1), false)
+	if err := e.SetAdmission(AdmissionOptions{MaxPendingWrites: -1}); err == nil {
+		t.Fatal("negative MaxPendingWrites accepted")
+	}
+	if err := e.SetAdmission(AdmissionOptions{DebtWatermark: math.NaN()}); err == nil {
+		t.Fatal("NaN DebtWatermark accepted")
+	}
+	if err := e.SetAdmission(AdmissionOptions{DebtWatermark: -0.5}); err == nil {
+		t.Fatal("negative DebtWatermark accepted")
+	}
+	if err := e.SetAdmission(AdmissionOptions{MaxPendingWrites: 8, DebtWatermark: 0.5}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAdmissionPendingBudget drives the pending-writes gate directly:
+// with a budget of 1, a second admit while the first is still in flight
+// must shed, and releasing the slot must re-open it.
+func TestAdmissionPendingBudget(t *testing.T) {
+	var a admission
+	if err := a.configure(AdmissionOptions{MaxPendingWrites: 1}); err != nil {
+		t.Fatal(err)
+	}
+	release1, err := a.admit(0)
+	if err != nil {
+		t.Fatalf("first admit: %v", err)
+	}
+	if _, err := a.admit(0); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("second admit = %v, want ErrOverloaded", err)
+	}
+	release1()
+	release2, err := a.admit(0)
+	if err != nil {
+		t.Fatalf("admit after release: %v", err)
+	}
+	release2()
+	if got := a.writesShed(); got != 1 {
+		t.Fatalf("writesShed = %d, want 1", got)
+	}
+	// Clearing the options disables the gate entirely.
+	if err := a.configure(AdmissionOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := a.admit(1.0); err != nil {
+			t.Fatalf("cleared gate shed a write: %v", err)
+		}
+	}
+}
+
+// TestEngineDebtBackpressure is the acceptance contract on a single
+// engine: once tombstone debt crosses the watermark, writes shed with
+// ErrOverloaded while searches keep answering; a rebuild clears the
+// debt and re-admits writes.
+func TestEngineDebtBackpressure(t *testing.T) {
+	e := newSingle(t, shardedObjects(100, 1), true)
+	if err := e.SetAdmission(AdmissionOptions{DebtWatermark: 0.20}); err != nil {
+		t.Fatal(err)
+	}
+	// Delete 30% — past the 0.20 watermark.
+	for id := int64(0); id < 30; id++ {
+		if err := e.Delete(id); err != nil {
+			// Deletes may themselves start shedding once the watermark is
+			// crossed; push debt with direct tombstones via the ones that
+			// still pass.
+			if errors.Is(err, ErrOverloaded) {
+				break
+			}
+			t.Fatal(err)
+		}
+	}
+	rng := rand.New(rand.NewSource(7))
+	if _, err := e.InsertObject(Object{randVec(rng, 24), randVec(rng, 12)}); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("insert past debt watermark = %v, want ErrOverloaded", err)
+	}
+	if e.WritesShed() == 0 {
+		t.Fatal("WritesShed did not count the refusal")
+	}
+	// Reads are never gated.
+	if _, err := e.Search(context.Background(), Query{Vectors: shardedQueries(1, 2)[0], K: 5}); err != nil {
+		t.Fatalf("search during overload: %v", err)
+	}
+	// Rebuild compacts the tombstones away; writes flow again.
+	if err := e.Rebuild(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.InsertObject(Object{randVec(rng, 24), randVec(rng, 12)}); err != nil {
+		t.Fatalf("insert after rebuild = %v, want admitted", err)
+	}
+}
+
+// TestShardedDebtBackpressure checks the sharded gate sheds on the
+// WORST shard's debt (one hot shard must protect the whole engine) and
+// that rebuilding that shard re-admits writes.
+func TestShardedDebtBackpressure(t *testing.T) {
+	const S = 4
+	s := newSharded(t, shardedObjects(400, 1), S, true)
+	if err := s.SetAdmission(AdmissionOptions{DebtWatermark: 0.20}); err != nil {
+		t.Fatal(err)
+	}
+	// Tombstone only shard 1 (global IDs with id%S == 1) past 20%.
+	deleted := 0
+	for id := int64(1); id < 400 && deleted < 30; id += S {
+		if err := s.Delete(id); err != nil {
+			if errors.Is(err, ErrOverloaded) {
+				break
+			}
+			t.Fatal(err)
+		}
+		deleted++
+	}
+	rng := rand.New(rand.NewSource(9))
+	if _, err := s.InsertObject(Object{randVec(rng, 24), randVec(rng, 12)}); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("insert with one hot shard = %v, want ErrOverloaded", err)
+	}
+	if s.WritesShed() == 0 {
+		t.Fatal("WritesShed did not count the refusal")
+	}
+	if _, err := s.Search(context.Background(), Query{Vectors: shardedQueries(1, 2)[0], K: 5}); err != nil {
+		t.Fatalf("search during overload: %v", err)
+	}
+	if err := s.RebuildShard(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.InsertObject(Object{randVec(rng, 24), randVec(rng, 12)}); err != nil {
+		t.Fatalf("insert after shard rebuild = %v, want admitted", err)
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"os/signal"
 	"strconv"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
@@ -62,22 +63,42 @@ func main() {
 		batchWorkers = flag.Int("batch-workers", 0, "engine workers per batch (0 = GOMAXPROCS)")
 		noBatch      = flag.Bool("no-batch", false, "serve each search with a direct engine call (per-request dispatch)")
 
-		cacheSize   = flag.Int("cache", 4096, "result-cache capacity in responses (negative disables)")
-		maxInFlight = flag.Int("max-in-flight", 256, "admitted requests before shedding 429s")
-		defTimeout  = flag.Duration("default-timeout", 2*time.Second, "search deadline when the request has no timeout_ms")
-		maxTimeout  = flag.Duration("max-timeout", 30*time.Second, "clamp for request-supplied timeout_ms")
+		cacheSize    = flag.Int("cache", 4096, "result-cache capacity in responses (negative disables)")
+		maxInFlight  = flag.Int("max-in-flight", 256, "admitted search requests before shedding 429s")
+		maxInFlightW = flag.Int("max-in-flight-writes", 64, "admitted write requests (insert/delete/rebuild) before shedding 429s; a separate budget so a write flood never costs search admission")
+		defTimeout   = flag.Duration("default-timeout", 2*time.Second, "search deadline when the request has no timeout_ms")
+		maxTimeout   = flag.Duration("max-timeout", 30*time.Second, "clamp for request-supplied timeout_ms")
+
+		maintOn        = flag.Bool("maint", false, "run background maintenance: paced rebuilds (one shard at a time) when overlay or tombstone ratios pass their watermarks, and automatic quarantined-shard recovery")
+		maintInterval  = flag.Duration("maint-interval", time.Second, "maintenance sampling interval")
+		maintGap       = flag.Duration("maint-gap", 10*time.Second, "minimum time between two maintenance rebuilds")
+		maintOverlay   = flag.Float64("maint-overlay", 0.20, "overlay ratio watermark that triggers a maintenance rebuild")
+		maintTombstone = flag.Float64("maint-tombstone", 0.20, "tombstone ratio watermark that triggers a maintenance rebuild")
+
+		maxPendingWrites = flag.Int("max-pending-writes", 0, "engine write budget: concurrent in-flight engine writes before shedding ErrOverloaded (0 = no engine-level gate)")
+		debtWatermark    = flag.Float64("debt-watermark", 0, "shed writes while maintenance debt (worst overlay/tombstone ratio) is at or past this (0 = disabled)")
 	)
 	flag.Parse()
-	if err := run(*addr, *schemaSpec, *load, *snapshot, *snapEvery, *gamma, *seed, *shards, *sq8, *rerank, *walDir, *fsyncPolicy, *fsyncInterval, server.Config{
-		MaxBatch:        *maxBatch,
-		BatchDelay:      *batchDelay,
-		BatchWorkers:    *batchWorkers,
-		DisableBatching: *noBatch,
-		CacheSize:       *cacheSize,
-		MaxInFlight:     *maxInFlight,
-		DefaultTimeout:  *defTimeout,
-		MaxTimeout:      *maxTimeout,
-	}); err != nil {
+	if err := run(*addr, *schemaSpec, *load, *snapshot, *snapEvery, *gamma, *seed, *shards, *sq8, *rerank, *walDir, *fsyncPolicy, *fsyncInterval,
+		maintConfig{
+			enabled:            *maintOn,
+			interval:           *maintInterval,
+			gap:                *maintGap,
+			overlayWatermark:   *maintOverlay,
+			tombstoneWatermark: *maintTombstone,
+		},
+		must.AdmissionOptions{MaxPendingWrites: *maxPendingWrites, DebtWatermark: *debtWatermark},
+		server.Config{
+			MaxBatch:          *maxBatch,
+			BatchDelay:        *batchDelay,
+			BatchWorkers:      *batchWorkers,
+			DisableBatching:   *noBatch,
+			CacheSize:         *cacheSize,
+			MaxInFlight:       *maxInFlight,
+			MaxInFlightWrites: *maxInFlightW,
+			DefaultTimeout:    *defTimeout,
+			MaxTimeout:        *maxTimeout,
+		}); err != nil {
 		fmt.Fprintf(os.Stderr, "mustd: %v\n", err)
 		os.Exit(1)
 	}
@@ -142,7 +163,16 @@ func saveSnapshot(eng must.Service, durable *must.DurableService, path string) e
 	return must.WriteSnapshot(eng, path)
 }
 
-func run(addr, schemaSpec, load, snapshot string, snapEvery time.Duration, gamma int, seed int64, shards int, sq8 bool, rerank int, walDir, fsyncPolicy string, fsyncInterval time.Duration, cfg server.Config) error {
+// maintConfig carries the maintenance flags into run.
+type maintConfig struct {
+	enabled            bool
+	interval           time.Duration
+	gap                time.Duration
+	overlayWatermark   float64
+	tombstoneWatermark float64
+}
+
+func run(addr, schemaSpec, load, snapshot string, snapEvery time.Duration, gamma int, seed int64, shards int, sq8 bool, rerank int, walDir, fsyncPolicy string, fsyncInterval time.Duration, mc maintConfig, adm must.AdmissionOptions, cfg server.Config) error {
 	eng, err := openEngine(load, schemaSpec, gamma, seed, shards)
 	if err != nil {
 		return err
@@ -171,7 +201,35 @@ func run(addr, schemaSpec, load, snapshot string, snapEvery time.Duration, gamma
 		}
 		log.Printf("sq8 quantization enabled (rerank depth %d; 0 = 4x k)", rerank)
 	}
+	// Admission is configured only now, after OpenDurable: WAL replay
+	// re-applies already-acked writes through the same write path, and
+	// shedding one would silently drop durable data.
+	if adm != (must.AdmissionOptions{}) {
+		if err := eng.SetAdmission(adm); err != nil {
+			return fmt.Errorf("configuring admission: %w", err)
+		}
+		log.Printf("write admission on (max pending %d, debt watermark %.2f)", adm.MaxPendingWrites, adm.DebtWatermark)
+	}
 	srv := server.New(eng, cfg)
+
+	// maintGuard serializes maintenance rebuilds with snapshots so a
+	// snapshot never captures a shard mid-compaction (and a compaction
+	// never starts while a snapshot is streaming the engine).
+	var maintGuard sync.Mutex
+	var maintainer *must.Maintainer
+	if mc.enabled {
+		maintainer = must.StartMaintenance(eng, must.MaintenanceOptions{
+			Interval:           mc.interval,
+			MinRebuildGap:      mc.gap,
+			OverlayWatermark:   mc.overlayWatermark,
+			TombstoneWatermark: mc.tombstoneWatermark,
+			Guard:              &maintGuard,
+			Logf:               log.Printf,
+		})
+		srv.AttachMaintainer(maintainer)
+		log.Printf("maintenance on (interval %v, gap %v, overlay>=%.2f, tombstone>=%.2f)",
+			mc.interval, mc.gap, mc.overlayWatermark, mc.tombstoneWatermark)
+	}
 
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -199,7 +257,10 @@ func run(addr, schemaSpec, load, snapshot string, snapEvery time.Duration, gamma
 		for {
 			select {
 			case <-t.C:
-				if err := saveSnapshot(eng, durable, snapshot); err != nil {
+				maintGuard.Lock()
+				err := saveSnapshot(eng, durable, snapshot)
+				maintGuard.Unlock()
+				if err != nil {
 					log.Printf("snapshot: %v", err)
 				} else {
 					log.Printf("snapshot written to %s (%d objects)", snapshot, eng.Len())
@@ -235,6 +296,11 @@ func run(addr, schemaSpec, load, snapshot string, snapEvery time.Duration, gamma
 	srv.Close()
 	close(snapStop)
 	<-snapDone
+	if maintainer != nil {
+		// Stop maintenance before the final snapshot so no rebuild is
+		// mid-flight while the engine streams to disk.
+		maintainer.Close()
+	}
 	if snapshot != "" {
 		if err := saveSnapshot(eng, durable, snapshot); err != nil {
 			return fmt.Errorf("final snapshot: %w", err)

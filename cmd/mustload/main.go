@@ -182,6 +182,20 @@ func (l *latencies) percentile(p float64) time.Duration {
 	return time.Duration(l.ns[i])
 }
 
+// report sorts and prints one class's latency line (no-op when the
+// class saw no successful requests).
+func (l *latencies) report(class string) {
+	if len(l.ns) == 0 {
+		return
+	}
+	sort.Slice(l.ns, func(i, j int) bool { return l.ns[i] < l.ns[j] })
+	fmt.Printf("%s latency p50 %v  p95 %v  p99 %v  max %v\n", class,
+		l.percentile(0.50).Round(time.Microsecond),
+		l.percentile(0.95).Round(time.Microsecond),
+		l.percentile(0.99).Round(time.Microsecond),
+		time.Duration(l.ns[len(l.ns)-1]).Round(time.Microsecond))
+}
+
 func run(addr string, conc int, duration time.Duration, k, prime int, writeRatio float64, noCache bool, seed int64, retries int, retryCap time.Duration) error {
 	c := &client{
 		base: "http://" + addr,
@@ -258,9 +272,10 @@ func run(addr string, conc int, duration time.Duration, k, prime int, writeRatio
 	}
 
 	var (
-		searches, writes, shed, errs atomic.Int64
-		lat                          latencies
-		wg                           sync.WaitGroup
+		searches, writes, errs atomic.Int64
+		shedReads, shedWrites  atomic.Int64
+		lat, wlat              latencies
+		wg                     sync.WaitGroup
 	)
 	deadline := time.Now().Add(duration)
 	fmt.Printf("measuring: %d workers, %v, write-ratio %.2f, no_cache=%v\n", conc, duration, writeRatio, noCache)
@@ -272,14 +287,26 @@ func run(addr string, conc int, duration time.Duration, k, prime int, writeRatio
 			for time.Now().Before(deadline) {
 				if writeRatio > 0 && wrng.Float64() < writeRatio {
 					var ir insertResponse
-					if _, err := c.post(wrng, "/v1/insert", insertRequest{Vectors: randObject(wrng, st.Schema)}, &ir); err != nil {
-						errs.Add(1)
+					start := time.Now()
+					if code, err := c.post(wrng, "/v1/insert", insertRequest{Vectors: randObject(wrng, st.Schema)}, &ir); err != nil {
+						if code == http.StatusTooManyRequests {
+							shedWrites.Add(1)
+						} else {
+							errs.Add(1)
+						}
 						continue
 					}
-					if _, err := c.post(wrng, "/v1/delete", map[string][]int64{"ids": ir.IDs}, nil); err != nil {
-						errs.Add(1)
+					wlat.add(time.Since(start))
+					start = time.Now()
+					if code, err := c.post(wrng, "/v1/delete", map[string][]int64{"ids": ir.IDs}, nil); err != nil {
+						if code == http.StatusTooManyRequests {
+							shedWrites.Add(1)
+						} else {
+							errs.Add(1)
+						}
 						continue
 					}
+					wlat.add(time.Since(start))
 					writes.Add(1)
 					continue
 				}
@@ -288,7 +315,7 @@ func run(addr string, conc int, duration time.Duration, k, prime int, writeRatio
 				code, err := c.post(wrng, "/v1/search", req, nil)
 				if err != nil {
 					if code == http.StatusTooManyRequests {
-						shed.Add(1)
+						shedReads.Add(1)
 					} else {
 						errs.Add(1)
 					}
@@ -301,17 +328,12 @@ func run(addr string, conc int, duration time.Duration, k, prime int, writeRatio
 	}
 	wg.Wait()
 
-	sort.Slice(lat.ns, func(i, j int) bool { return lat.ns[i] < lat.ns[j] })
 	total := searches.Load()
-	fmt.Printf("\nsearches %d (%.0f/s)  writes %d  retries %d  shed(429) %d  errors %d\n",
-		total, float64(total)/duration.Seconds(), writes.Load(), c.retried.Load(), shed.Load(), errs.Load())
-	if total > 0 {
-		fmt.Printf("latency p50 %v  p95 %v  p99 %v  max %v\n",
-			lat.percentile(0.50).Round(time.Microsecond),
-			lat.percentile(0.95).Round(time.Microsecond),
-			lat.percentile(0.99).Round(time.Microsecond),
-			time.Duration(lat.ns[len(lat.ns)-1]).Round(time.Microsecond))
-	}
+	fmt.Printf("\nsearches %d (%.0f/s)  writes %d  retries %d  shed(429) reads %d writes %d  errors %d\n",
+		total, float64(total)/duration.Seconds(), writes.Load(), c.retried.Load(),
+		shedReads.Load(), shedWrites.Load(), errs.Load())
+	lat.report("read ")
+	wlat.report("write")
 	if errs.Load() > 0 {
 		return fmt.Errorf("%d requests errored", errs.Load())
 	}

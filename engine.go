@@ -79,6 +79,10 @@ type Engine struct {
 	// EnableQuantization); rerankK is the exact re-rank depth (0 = 4·k).
 	quantize bool
 	rerankK  int
+
+	// adm gates the write path (see SetAdmission); its cached debt ratio
+	// is refreshed under the write lock by updateDebtLocked.
+	adm admission
 }
 
 // Epoch returns the engine's mutation epoch: a counter that increments
@@ -158,13 +162,16 @@ func (e *Engine) Insert(v NamedVectors) (int64, error) {
 
 // InsertObject is Insert with vectors already in schema order — the
 // bulk-loading fast path that avoids building a map per object.
+// Returns ErrOverloaded when admission control sheds the write.
 func (e *Engine) InsertObject(o Object) (int64, error) {
+	release, err := e.adm.admit(e.adm.debtRatio())
+	if err != nil {
+		return 0, err
+	}
+	defer release()
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	var (
-		slot int
-		err  error
-	)
+	var slot int
 	if e.ix == nil {
 		slot, err = e.c.Add(o)
 	} else {
@@ -185,14 +192,20 @@ func (e *Engine) InsertObject(o Object) (int64, error) {
 		// The graph and object slice grew; pooled searchers sized to the
 		// old vertex count must not be reused.
 		e.resetSearchersLocked()
+		e.updateDebtLocked()
 	}
 	return id, nil
 }
 
 // Delete tombstones an object by engine ID (§IX): excluded from all
 // future results, still routing until the next Rebuild. Requires a built
-// index.
+// index. Returns ErrOverloaded when admission control sheds the write.
 func (e *Engine) Delete(id int64) error {
+	release, err := e.adm.admit(e.adm.debtRatio())
+	if err != nil {
+		return err
+	}
+	defer release()
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.ix == nil {
@@ -206,6 +219,7 @@ func (e *Engine) Delete(id int64) error {
 		return err
 	}
 	e.epoch++
+	e.updateDebtLocked()
 	return nil
 }
 
@@ -394,6 +408,7 @@ func (e *Engine) Build() error {
 	e.ix = ix
 	e.epoch++
 	e.resetSearchersLocked()
+	e.updateDebtLocked()
 	return nil
 }
 
@@ -496,7 +511,39 @@ func (e *Engine) Rebuild() error {
 	e.c.store.SyncSQ8()
 	e.epoch++
 	e.resetSearchersLocked()
+	e.updateDebtLocked()
 	return nil
+}
+
+// SetAdmission installs (or, with the zero value, clears) write-path
+// admission control: Insert/InsertObject/Delete past the in-flight
+// budget or issued while maintenance debt exceeds the watermark fail
+// fast with ErrOverloaded. Searches are never gated.
+func (e *Engine) SetAdmission(o AdmissionOptions) error {
+	return e.adm.configure(o)
+}
+
+// WritesShed returns how many writes admission control has refused.
+func (e *Engine) WritesShed() uint64 { return e.adm.writesShed() }
+
+// updateDebtLocked refreshes the admission gate's cached maintenance
+// debt — max(overlay ratio, tombstone ratio) — so the write-path admit
+// check stays a single atomic load. Callers must hold the write lock.
+func (e *Engine) updateDebtLocked() {
+	if e.ix == nil {
+		e.adm.setDebt(0)
+		return
+	}
+	n := e.ix.f.Graph.NumVertices()
+	if n == 0 {
+		e.adm.setDebt(0)
+		return
+	}
+	debt := float64(e.ix.f.Graph.OverlayVertices()) / float64(n)
+	if t := float64(e.ix.deadCount) / float64(n); t > debt {
+		debt = t
+	}
+	e.adm.setDebt(debt)
 }
 
 // resetSearchersLocked replaces the searcher pool after any change to the
@@ -687,6 +734,12 @@ func (e *Engine) SearchEach(ctx context.Context, queries []Query, workers int) (
 	return out, errs
 }
 
+// errSearchPanicked marks errors produced by recovering a search
+// panic. The sharded fan-out uses it to tell shard sickness (panics
+// feed the health breaker) from ordinary per-query errors (validation
+// failures, which say nothing about shard health).
+var errSearchPanicked = errors.New("must: search panicked")
+
 // searchOneRecovered runs one query, converting a panic (e.g. from a
 // user-supplied Query.Filter) into that query's error instead of
 // killing the process. The panicked searcher's internal state is
@@ -695,7 +748,7 @@ func (e *Engine) SearchEach(ctx context.Context, queries []Query, workers int) (
 func (e *Engine) searchOneRecovered(ctx context.Context, sp **search.Searcher, pool *sync.Pool, q Query) (resp *Response, err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			resp, err = nil, fmt.Errorf("must: search panicked: %v", r)
+			resp, err = nil, fmt.Errorf("%w: %v", errSearchPanicked, r)
 			*sp = pool.Get().(*search.Searcher)
 		}
 	}()

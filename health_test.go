@@ -1,0 +1,149 @@
+package must
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"must/internal/maint"
+)
+
+// sickUntilHealed returns a query that panics inside shard `sick` until
+// stop() is called — simulating a shard with corrupted state that every
+// touch trips over.
+func failShard(s *ShardedEngine, t *testing.T, sick, shards, times int) {
+	t.Helper()
+	q := sickShardQuery(shardedQueries(1, 2)[0], sick, shards, func() { panic("shard is sick") })
+	for i := 0; i < times; i++ {
+		if _, err := s.Search(context.Background(), q); err != nil {
+			t.Fatalf("sick-shard search %d must degrade, not fail: %v", i, err)
+		}
+	}
+}
+
+func TestShardQuarantineAfterConsecutivePanics(t *testing.T) {
+	const S = 4
+	s := newSharded(t, shardedObjects(400, 1), S, true)
+	s.ConfigureHealth(HealthConfig{Threshold: 3, Window: time.Minute, Probe: time.Hour})
+
+	// Two failures: degraded, still serving.
+	failShard(s, t, 1, S, 2)
+	if got := s.ShardHealth()[1]; got != maint.Degraded.String() {
+		t.Fatalf("after 2 panics health = %q, want degraded", got)
+	}
+	// Third consecutive failure trips the breaker.
+	failShard(s, t, 1, S, 1)
+	if got := s.ShardHealth()[1]; got != maint.Quarantined.String() {
+		t.Fatalf("after 3 panics health = %q, want quarantined", got)
+	}
+	// Health is also visible in ShardStats for /v1/stats.
+	if got := s.ShardStats()[1].Health; got != maint.Quarantined.String() {
+		t.Fatalf("ShardStats health = %q, want quarantined", got)
+	}
+
+	// A quarantined shard is skipped: the panicking filter never runs,
+	// the response degrades with an explicit shard error, and matches
+	// come only from healthy shards.
+	q := sickShardQuery(shardedQueries(1, 2)[0], 1, S, func() { panic("still sick") })
+	resp, err := s.Search(context.Background(), q)
+	if err != nil {
+		t.Fatalf("search with quarantined shard: %v", err)
+	}
+	if !resp.Partial {
+		t.Fatal("Partial not set while a shard is quarantined")
+	}
+	found := false
+	for _, se := range resp.ShardErrors {
+		if se.Shard == 1 && strings.Contains(se.Err, "quarantined") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("ShardErrors = %+v, want shard 1 quarantined", resp.ShardErrors)
+	}
+	for _, m := range resp.Matches {
+		if int(m.ID)%S == 1 {
+			t.Fatalf("match %d came from the quarantined shard", m.ID)
+		}
+	}
+
+	// Rebuild replaces the blamed state and force-closes the breaker —
+	// the automatic re-admission path maintenance uses.
+	if err := s.RebuildShard(1); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.ShardHealth()[1]; got != maint.Healthy.String() {
+		t.Fatalf("after rebuild health = %q, want healthy", got)
+	}
+	resp, err = s.Search(context.Background(), Query{Vectors: shardedQueries(1, 2)[0], K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Partial {
+		t.Fatalf("still partial after re-admission: %+v", resp.ShardErrors)
+	}
+}
+
+// TestShardHealthSuccessResetsCount: failures must be CONSECUTIVE — a
+// success between them re-closes the breaker.
+func TestShardHealthSuccessResetsCount(t *testing.T) {
+	const S = 4
+	s := newSharded(t, shardedObjects(400, 1), S, true)
+	s.ConfigureHealth(HealthConfig{Threshold: 2, Window: time.Minute, Probe: time.Hour})
+
+	failShard(s, t, 2, S, 1)
+	if _, err := s.Search(context.Background(), Query{Vectors: shardedQueries(1, 2)[0], K: 5}); err != nil {
+		t.Fatal(err)
+	}
+	failShard(s, t, 2, S, 1)
+	if got := s.ShardHealth()[2]; got == maint.Quarantined.String() {
+		t.Fatal("non-consecutive failures quarantined the shard")
+	}
+}
+
+// TestShardHalfOpenProbeReadmission: after the probe interval, one
+// request is admitted to the quarantined shard; if it succeeds the
+// shard is healthy again without any rebuild.
+func TestShardHalfOpenProbeReadmission(t *testing.T) {
+	const S = 4
+	s := newSharded(t, shardedObjects(400, 1), S, true)
+	s.ConfigureHealth(HealthConfig{Threshold: 2, Window: time.Minute, Probe: 10 * time.Millisecond})
+
+	failShard(s, t, 3, S, 2)
+	if got := s.ShardHealth()[3]; got != maint.Quarantined.String() {
+		t.Fatalf("health = %q, want quarantined", got)
+	}
+	time.Sleep(20 * time.Millisecond)
+	// The shard recovered (the fault was transient); the probe query
+	// succeeds and re-admits it.
+	resp, err := s.Search(context.Background(), Query{Vectors: shardedQueries(1, 2)[0], K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Partial {
+		t.Fatalf("probe search still partial: %+v", resp.ShardErrors)
+	}
+	if got := s.ShardHealth()[3]; got != maint.Healthy.String() {
+		t.Fatalf("after successful probe health = %q, want healthy", got)
+	}
+}
+
+func TestAllShardsQuarantinedErrors(t *testing.T) {
+	const S = 2
+	s := newSharded(t, shardedObjects(100, 1), S, true)
+	s.ConfigureHealth(HealthConfig{Threshold: 1, Window: time.Minute, Probe: time.Hour})
+	q := Query{
+		Vectors: shardedQueries(1, 2)[0],
+		Filter:  func(id int64) bool { panic("everything is sick") },
+		K:       5,
+	}
+	// One all-shards panic trips every breaker at threshold 1.
+	if _, err := s.Search(context.Background(), q); err == nil {
+		t.Fatal("all-shards panic returned no error")
+	}
+	_, err := s.Search(context.Background(), Query{Vectors: shardedQueries(1, 2)[0], K: 5})
+	if err == nil || !strings.Contains(err.Error(), "quarantined") {
+		t.Fatalf("err = %v, want all-shards-quarantined error", err)
+	}
+}

@@ -152,3 +152,41 @@ func TestInsertThenCompactOverCSR(t *testing.T) {
 		}
 	}
 }
+
+func TestSnapshotCSRDoesNotMutate(t *testing.T) {
+	g := NewCSR([][]int32{{1}, {2}, {0}}, 0)
+	g.EnsureVertices(4)
+	g.SetNeighbors(3, []int32{0, 2})
+	g.SetNeighbors(1, []int32{2, 3})
+	offsets, edges := g.SnapshotCSR()
+	if g.OverlayVertices() != 2 {
+		t.Fatalf("SnapshotCSR disturbed the overlay: %d vertices", g.OverlayVertices())
+	}
+	if len(offsets) != g.NumVertices()+1 || int(offsets[len(offsets)-1]) != len(edges) {
+		t.Fatal("snapshot CSR arrays inconsistent")
+	}
+	// The snapshot must equal what a mutating Compact+CSR produces.
+	co, ce := g.CSR()
+	if g.OverlayVertices() != 0 {
+		t.Fatal("CSR left overlay vertices")
+	}
+	if len(co) != len(offsets) || len(ce) != len(edges) {
+		t.Fatalf("snapshot differs from compacted: %d/%d offsets, %d/%d edges",
+			len(offsets), len(co), len(edges), len(ce))
+	}
+	for i := range co {
+		if co[i] != offsets[i] {
+			t.Fatalf("offset %d: snapshot %d, compacted %d", i, offsets[i], co[i])
+		}
+	}
+	for i := range ce {
+		if ce[i] != edges[i] {
+			t.Fatalf("edge %d: snapshot %d, compacted %d", i, edges[i], ce[i])
+		}
+	}
+	// Fully sealed: the live arrays come back without copying.
+	o2, e2 := g.SnapshotCSR()
+	if &o2[0] != &co[0] || &e2[0] != &ce[0] {
+		t.Fatal("sealed SnapshotCSR copied the live arrays")
+	}
+}

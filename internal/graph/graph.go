@@ -160,28 +160,47 @@ func (g *Graph) Compact() {
 	if g.overlay == nil {
 		return
 	}
-	offsets := make([]uint32, g.n+1)
-	total := 0
-	for v := 0; v < g.n; v++ {
-		total += g.Degree(int32(v))
-	}
-	edges := make([]int32, 0, total)
-	for v := 0; v < g.n; v++ {
-		edges = append(edges, g.Neighbors(int32(v))...)
-		offsets[v+1] = uint32(len(edges))
-	}
-	g.offsets = offsets
-	g.edges = edges
+	g.offsets, g.edges = g.compacted()
 	g.overlay = nil
 	g.overlaid = 0
 }
 
+// compacted builds fresh flat arrays covering every vertex, overlay
+// folded in, without touching g.
+func (g *Graph) compacted() (offsets []uint32, edges []int32) {
+	offsets = make([]uint32, g.n+1)
+	total := 0
+	for v := 0; v < g.n; v++ {
+		total += g.Degree(int32(v))
+	}
+	edges = make([]int32, 0, total)
+	for v := 0; v < g.n; v++ {
+		edges = append(edges, g.Neighbors(int32(v))...)
+		offsets[v+1] = uint32(len(edges))
+	}
+	return offsets, edges
+}
+
 // CSR returns the graph's flat arrays, compacting any overlay first so
 // the result covers every vertex. The returned slices are the live
-// backing arrays — callers must treat them as read-only.
+// backing arrays — callers must treat them as read-only. CSR mutates
+// the graph; use SnapshotCSR when readers may be running concurrently.
 func (g *Graph) CSR() (offsets []uint32, edges []int32) {
 	g.Compact()
 	return g.offsets, g.edges
+}
+
+// SnapshotCSR returns flat arrays covering every vertex without
+// mutating the graph: when an overlay exists the compacted form is
+// built into fresh slices and g keeps its overlay. Safe to call
+// concurrently with readers (Neighbors/Degree) under a lock that
+// excludes writers — which is exactly the engine-snapshot case, where
+// serialization runs under the engine's read lock alongside searches.
+func (g *Graph) SnapshotCSR() (offsets []uint32, edges []int32) {
+	if g.overlay == nil {
+		return g.offsets, g.edges
+	}
+	return g.compacted()
 }
 
 // NumEdges returns the total directed edge count.

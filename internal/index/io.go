@@ -109,9 +109,10 @@ func readU32Block(br *bufio.Reader, scratch []byte, dst []uint32) error {
 }
 
 // Write serializes the index structure (graph + weights) to w in the
-// MUSTIX2 format. Any incremental-insert overlay is compacted into the
-// CSR core first, so Write must not race with concurrent searches (the
-// engine holds its write lock; single-goroutine callers are fine).
+// MUSTIX2 format. Any incremental-insert overlay is folded into the
+// written form via a non-mutating snapshot, so Write is safe alongside
+// concurrent searches under the engine's read lock (writers — inserts,
+// deletes, rebuilds — must still be excluded).
 func (f *Fused) Write(w io.Writer) error {
 	bw := bufio.NewWriterSize(w, 1<<20)
 	if _, err := bw.Write(ixMagicV2[:]); err != nil {
@@ -131,7 +132,7 @@ func (f *Fused) Write(w io.Writer) error {
 			return err
 		}
 	}
-	offsets, edges := f.Graph.CSR()
+	offsets, edges := f.Graph.SnapshotCSR()
 	if err := binary.Write(bw, binary.LittleEndian, uint32(f.Graph.NumVertices())); err != nil {
 		return err
 	}

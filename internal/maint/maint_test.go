@@ -1,0 +1,315 @@
+package maint
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBreakerQuarantineAfterThreshold(t *testing.T) {
+	b := NewBreaker(BreakerConfig{Threshold: 3, Window: time.Second, Probe: time.Second})
+	now := time.Unix(1000, 0)
+	if got := b.Failure(now); got != Degraded {
+		t.Fatalf("after 1 failure: state=%v want Degraded", got)
+	}
+	if got := b.Failure(now.Add(10 * time.Millisecond)); got != Degraded {
+		t.Fatalf("after 2 failures: state=%v want Degraded", got)
+	}
+	if got := b.Failure(now.Add(20 * time.Millisecond)); got != Quarantined {
+		t.Fatalf("after 3 failures: state=%v want Quarantined", got)
+	}
+	if b.Allow(now.Add(30 * time.Millisecond)) {
+		t.Fatal("quarantined breaker admitted a request before the probe interval")
+	}
+}
+
+func TestBreakerWindowResetsCount(t *testing.T) {
+	b := NewBreaker(BreakerConfig{Threshold: 2, Window: time.Second})
+	now := time.Unix(1000, 0)
+	b.Failure(now)
+	// Second failure lands outside the window: the run restarts, so the
+	// breaker must not open.
+	if got := b.Failure(now.Add(2 * time.Second)); got != Degraded {
+		t.Fatalf("stale failure run still counted: state=%v want Degraded", got)
+	}
+	if got := b.Failures(); got != 1 {
+		t.Fatalf("consecutive=%d want 1", got)
+	}
+}
+
+func TestBreakerSuccessResets(t *testing.T) {
+	b := NewBreaker(BreakerConfig{Threshold: 3, Window: time.Second})
+	now := time.Unix(1000, 0)
+	b.Failure(now)
+	b.Failure(now)
+	b.Success()
+	if got := b.State(); got != Healthy {
+		t.Fatalf("state=%v want Healthy", got)
+	}
+	if got := b.Failures(); got != 0 {
+		t.Fatalf("consecutive=%d want 0", got)
+	}
+}
+
+func TestBreakerHalfOpenProbe(t *testing.T) {
+	b := NewBreaker(BreakerConfig{Threshold: 1, Window: time.Second, Probe: time.Second})
+	now := time.Unix(1000, 0)
+	if got := b.Failure(now); got != Quarantined {
+		t.Fatalf("state=%v want Quarantined", got)
+	}
+	// A success from a straggler request must not close an open breaker.
+	b.Success()
+	if got := b.State(); got != Quarantined {
+		t.Fatalf("straggler success closed the breaker: state=%v", got)
+	}
+	if b.Allow(now.Add(500 * time.Millisecond)) {
+		t.Fatal("admitted before probe interval elapsed")
+	}
+	// Probe due: exactly one request admitted.
+	if !b.Allow(now.Add(time.Second)) {
+		t.Fatal("probe not admitted after interval")
+	}
+	if got := b.State(); got != Probing {
+		t.Fatalf("state=%v want Probing", got)
+	}
+	if b.Allow(now.Add(time.Second)) {
+		t.Fatal("second request admitted during probe")
+	}
+	// Failed probe re-opens and restarts the probe clock.
+	if got := b.Failure(now.Add(1100 * time.Millisecond)); got != Quarantined {
+		t.Fatalf("state=%v want Quarantined after failed probe", got)
+	}
+	if b.Allow(now.Add(1200 * time.Millisecond)) {
+		t.Fatal("admitted right after failed probe")
+	}
+	// Next probe succeeds → Healthy.
+	if !b.Allow(now.Add(2100 * time.Millisecond)) {
+		t.Fatal("second probe not admitted")
+	}
+	b.Success()
+	if got := b.State(); got != Healthy {
+		t.Fatalf("state=%v want Healthy after successful probe", got)
+	}
+}
+
+func TestBreakerReset(t *testing.T) {
+	b := NewBreaker(BreakerConfig{Threshold: 1})
+	b.Failure(time.Unix(1000, 0))
+	b.Reset()
+	if got := b.State(); got != Healthy {
+		t.Fatalf("state=%v want Healthy after Reset", got)
+	}
+	if !b.Allow(time.Unix(1000, 1)) {
+		t.Fatal("reset breaker refused a request")
+	}
+}
+
+// fakeTarget is a Target with settable samples and a recorded rebuild
+// log; Rebuild clears the rebuilt unit's pressure.
+type fakeTarget struct {
+	mu       sync.Mutex
+	samples  []Sample
+	rebuilt  []int
+	rebuildE error
+}
+
+func (f *fakeTarget) Samples() []Sample {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]Sample, len(f.samples))
+	copy(out, f.samples)
+	return out
+}
+
+func (f *fakeTarget) Rebuild(unit int) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.rebuilt = append(f.rebuilt, unit)
+	if f.rebuildE != nil {
+		return f.rebuildE
+	}
+	for i := range f.samples {
+		if f.samples[i].Unit == unit {
+			f.samples[i] = Sample{Unit: unit}
+		}
+	}
+	return nil
+}
+
+func (f *fakeTarget) rebuiltUnits() []int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]int, len(f.rebuilt))
+	copy(out, f.rebuilt)
+	return out
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func TestManagerRebuildsWorstUnit(t *testing.T) {
+	ft := &fakeTarget{samples: []Sample{
+		{Unit: 0, OverlayRatio: 0.25},
+		{Unit: 1, TombstoneRatio: 0.60}, // worst overshoot → first
+		{Unit: 2, OverlayRatio: 0.05},   // under watermark → never
+	}}
+	m := NewManager(ft, Config{
+		Interval:           time.Millisecond,
+		MinRebuildGap:      time.Millisecond,
+		OverlayWatermark:   0.20,
+		TombstoneWatermark: 0.20,
+	})
+	defer m.Close()
+	waitFor(t, "two rebuilds", func() bool { return m.Rebuilds() >= 2 })
+	got := ft.rebuiltUnits()
+	if got[0] != 1 {
+		t.Fatalf("first rebuild hit unit %d, want 1 (worst overshoot)", got[0])
+	}
+	if got[1] != 0 {
+		t.Fatalf("second rebuild hit unit %d, want 0", got[1])
+	}
+	// Unit 2 never crossed a watermark; with all pressure cleared the
+	// loop must go quiet.
+	n := m.Rebuilds()
+	time.Sleep(20 * time.Millisecond)
+	if m.Rebuilds() != n {
+		t.Fatalf("manager rebuilt with no unit over watermark")
+	}
+	for _, u := range ft.rebuiltUnits() {
+		if u == 2 {
+			t.Fatal("unit 2 rebuilt despite being under watermark")
+		}
+	}
+}
+
+func TestManagerQuarantinePriority(t *testing.T) {
+	ft := &fakeTarget{samples: []Sample{
+		{Unit: 0, OverlayRatio: 0.90},
+		{Unit: 1, Quarantined: true}, // outranks any watermark score
+	}}
+	m := NewManager(ft, Config{Interval: time.Millisecond, MinRebuildGap: time.Millisecond})
+	defer m.Close()
+	waitFor(t, "a rebuild", func() bool { return len(ft.rebuiltUnits()) >= 1 })
+	if got := ft.rebuiltUnits()[0]; got != 1 {
+		t.Fatalf("first rebuild hit unit %d, want quarantined unit 1", got)
+	}
+}
+
+func TestManagerMinRebuildGapPaces(t *testing.T) {
+	base := time.Unix(1000, 0)
+	var clock struct {
+		mu sync.Mutex
+		t  time.Time
+	}
+	clock.t = base
+	ft := &fakeTarget{samples: []Sample{
+		{Unit: 0, OverlayRatio: 0.90},
+		{Unit: 1, OverlayRatio: 0.80},
+	}}
+	m := NewManager(ft, Config{
+		Interval:      time.Millisecond,
+		MinRebuildGap: time.Hour, // frozen clock never advances past it
+		now: func() time.Time {
+			clock.mu.Lock()
+			defer clock.mu.Unlock()
+			return clock.t
+		},
+	})
+	defer m.Close()
+	waitFor(t, "first rebuild", func() bool { return m.Rebuilds() == 1 })
+	// Clock frozen inside the gap: no second rebuild despite unit 1
+	// still being over watermark.
+	time.Sleep(20 * time.Millisecond)
+	if got := m.Rebuilds(); got != 1 {
+		t.Fatalf("rebuilds=%d want 1 while inside MinRebuildGap", got)
+	}
+	// Advance past the gap → unit 1 gets its turn.
+	clock.mu.Lock()
+	clock.t = base.Add(2 * time.Hour)
+	clock.mu.Unlock()
+	waitFor(t, "second rebuild", func() bool { return m.Rebuilds() == 2 })
+	if got := ft.rebuiltUnits(); got[1] != 1 {
+		t.Fatalf("second rebuild hit unit %d, want 1", got[1])
+	}
+}
+
+func TestManagerPauseResume(t *testing.T) {
+	ft := &fakeTarget{samples: []Sample{{Unit: 0, OverlayRatio: 0.90}}}
+	m := NewManager(ft, Config{Interval: time.Millisecond, MinRebuildGap: time.Millisecond})
+	defer m.Close()
+	m.Pause()
+	time.Sleep(20 * time.Millisecond)
+	if got := m.Rebuilds(); got > 1 {
+		t.Fatalf("rebuilds=%d while paused (allowing one pre-pause race)", got)
+	}
+	// Debt stays fresh while paused: sampling continues.
+	waitFor(t, "debt gauge", func() bool { return m.Debt() >= 1 })
+	m.Resume()
+	waitFor(t, "rebuild after resume", func() bool { return m.Rebuilds() >= 1 })
+}
+
+func TestManagerRebuildErrorCounted(t *testing.T) {
+	ft := &fakeTarget{
+		samples:  []Sample{{Unit: 0, OverlayRatio: 0.90}},
+		rebuildE: errors.New("boom"),
+	}
+	m := NewManager(ft, Config{Interval: time.Millisecond, MinRebuildGap: time.Millisecond})
+	defer m.Close()
+	waitFor(t, "failure counter", func() bool { return m.Failures() >= 1 })
+	if got := m.Rebuilds(); got != 0 {
+		t.Fatalf("rebuilds=%d want 0 when every rebuild fails", got)
+	}
+}
+
+func TestManagerGuardHeldDuringRebuild(t *testing.T) {
+	var guard sync.Mutex
+	ft := &fakeTarget{samples: []Sample{{Unit: 0, OverlayRatio: 0.90}}}
+	m := NewManager(ft, Config{
+		Interval:      time.Millisecond,
+		MinRebuildGap: time.Hour,
+		Guard:         &guard,
+	})
+	defer m.Close()
+	// Holding the guard blocks the rebuild: simulate the snapshot loop.
+	guard.Lock()
+	time.Sleep(10 * time.Millisecond)
+	if got := m.Rebuilds(); got != 0 {
+		t.Fatalf("rebuild ran while guard was held externally")
+	}
+	guard.Unlock()
+	waitFor(t, "rebuild after guard release", func() bool { return m.Rebuilds() == 1 })
+}
+
+func TestManagerCloseStopsLoop(t *testing.T) {
+	ft := &fakeTarget{samples: []Sample{{Unit: 0, OverlayRatio: 0.90}}}
+	m := NewManager(ft, Config{Interval: time.Millisecond, MinRebuildGap: time.Millisecond})
+	m.Close()
+	m.Close() // idempotent
+	n := len(ft.rebuiltUnits())
+	time.Sleep(10 * time.Millisecond)
+	if got := len(ft.rebuiltUnits()); got != n {
+		t.Fatal("manager kept rebuilding after Close")
+	}
+}
+
+func TestManagerKick(t *testing.T) {
+	ft := &fakeTarget{samples: []Sample{{Unit: 0, OverlayRatio: 0.90}}}
+	m := NewManager(ft, Config{Interval: time.Hour, MinRebuildGap: time.Millisecond})
+	defer m.Close()
+	time.Sleep(5 * time.Millisecond)
+	if m.Rebuilds() != 0 {
+		t.Fatal("rebuild before kick despite hour-long interval")
+	}
+	m.Kick()
+	waitFor(t, "rebuild after kick", func() bool { return m.Rebuilds() == 1 })
+}

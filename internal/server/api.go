@@ -127,6 +127,10 @@ type ServerStats struct {
 	// in batch dispatch.
 	PartialResults uint64 `json:"partial_results"`
 	BatchPanics    uint64 `json:"batch_panics"`
+	// WritesShed counts writes refused by overload protection: write
+	// admission rejections plus engine ErrOverloaded refusals, both
+	// answered 429 + Retry-After.
+	WritesShed uint64 `json:"writes_shed"`
 }
 
 // StatsResponse is the GET /v1/stats reply.
@@ -139,10 +143,13 @@ type StatsResponse struct {
 	// Engine is the index-layer statistics (zero value until built).
 	Engine must.Stats  `json:"engine"`
 	Server ServerStats `json:"server"`
-	// Shards carries per-shard build progress, sizes, and epochs when
-	// the backing service is a ShardedEngine; omitted for a single
-	// engine.
+	// Shards carries per-shard build progress, sizes, epochs, and health
+	// when the backing service is sharded (directly or behind a durable
+	// wrapper); omitted for a single engine.
 	Shards []must.ShardInfo `json:"shards,omitempty"`
+	// Maintenance reports the background maintenance loop; omitted when
+	// maintenance is disabled.
+	Maintenance *must.MaintStats `json:"maintenance,omitempty"`
 }
 
 // ErrorResponse is the body of every non-2xx reply.

@@ -29,6 +29,11 @@ type Metrics struct {
 	inFlight atomic.Int64
 	rejected atomic.Uint64
 
+	// writesShed counts write requests refused by overload protection:
+	// write-class admission rejections plus engine-level ErrOverloaded
+	// refusals mapped to 429.
+	writesShed atomic.Uint64
+
 	// partialResults counts searches answered degraded (some shards
 	// failed or timed out); batchPanics counts engine panics recovered
 	// in the batcher's dispatch path.
@@ -139,9 +144,17 @@ func (m *Metrics) ObservePartial() { m.partialResults.Add(1) }
 // ObserveBatchPanic records one recovered panic in batch dispatch.
 func (m *Metrics) ObserveBatchPanic() { m.batchPanics.Add(1) }
 
-// WritePrometheus renders the registry — plus cache counters and engine
-// gauges sampled now — in Prometheus text exposition format.
-func (m *Metrics) WritePrometheus(w io.Writer, eng must.Service, cache *resultCache) {
+// ObserveWriteShed records one write refused by overload protection.
+func (m *Metrics) ObserveWriteShed() { m.writesShed.Add(1) }
+
+// WritesShed returns the shed-write total (server-side refusals only;
+// the engine keeps its own count for direct callers).
+func (m *Metrics) WritesShed() uint64 { return m.writesShed.Load() }
+
+// WritePrometheus renders the registry — plus cache counters, engine
+// gauges, and maintenance counters sampled now — in Prometheus text
+// exposition format. maint may be nil (maintenance disabled).
+func (m *Metrics) WritePrometheus(w io.Writer, eng must.Service, cache *resultCache, maint *must.Maintainer) {
 	// Request counters, sorted for deterministic scrapes.
 	m.mu.Lock()
 	reqKeys := make([]requestKey, 0, len(m.requests))
@@ -202,6 +215,25 @@ func (m *Metrics) WritePrometheus(w io.Writer, eng must.Service, cache *resultCa
 	fmt.Fprintln(w, "# HELP must_batch_panics_total Engine panics recovered in batch dispatch (each fails only its own batch).")
 	fmt.Fprintln(w, "# TYPE must_batch_panics_total counter")
 	fmt.Fprintf(w, "must_batch_panics_total %d\n", m.batchPanics.Load())
+
+	// Self-healing counters: shed writes combine server-side admission
+	// rejections with engine-level ErrOverloaded refusals, so one series
+	// answers "is backpressure firing".
+	fmt.Fprintln(w, "# HELP must_writes_shed_total Writes refused by overload protection (429 + Retry-After).")
+	fmt.Fprintln(w, "# TYPE must_writes_shed_total counter")
+	fmt.Fprintf(w, "must_writes_shed_total %d\n", m.writesShed.Load()+eng.WritesShed())
+	if maint != nil {
+		st := maint.Stats()
+		fmt.Fprintln(w, "# HELP must_maintenance_rebuilds_total Background maintenance rebuilds completed.")
+		fmt.Fprintln(w, "# TYPE must_maintenance_rebuilds_total counter")
+		fmt.Fprintf(w, "must_maintenance_rebuilds_total %d\n", st.Rebuilds)
+		fmt.Fprintln(w, "# HELP must_maintenance_failures_total Background maintenance rebuilds that failed.")
+		fmt.Fprintln(w, "# TYPE must_maintenance_failures_total counter")
+		fmt.Fprintf(w, "must_maintenance_failures_total %d\n", st.Failures)
+		fmt.Fprintln(w, "# HELP must_maintenance_debt Units (shards) at or past a watermark, or quarantined, at the last sample.")
+		fmt.Fprintln(w, "# TYPE must_maintenance_debt gauge")
+		fmt.Fprintf(w, "must_maintenance_debt %d\n", st.Debt)
+	}
 
 	// Engine gauges, sampled at scrape time.
 	fmt.Fprintln(w, "# HELP mustd_engine_objects Live (non-tombstoned) objects.")

@@ -19,14 +19,25 @@ func (r *statusRecorder) WriteHeader(code int) {
 	r.ResponseWriter.WriteHeader(code)
 }
 
+// admitClass selects which in-flight budget an endpoint competes for.
+// Reads and writes are admitted separately so a write flood is shed
+// without costing search admission (and vice versa); observability
+// endpoints never compete — an overloaded server must still answer
+// /healthz and /metrics.
+type admitClass int
+
+const (
+	admitNone admitClass = iota
+	admitRead
+	admitWrite
+)
+
 // endpoint wraps a handler with the serving-tier middleware stack:
-// method filtering, drain refusal, admission control (429 +
-// Retry-After when MaxInFlight requests are already admitted), the
+// method filtering, drain refusal, per-class admission control (429 +
+// Retry-After when the class's in-flight budget is exhausted), the
 // in-flight gauge, and per-endpoint request/latency metrics. name is
-// the metrics label; admit selects whether the endpoint competes for
-// admission slots (observability endpoints never do — an overloaded
-// server must still answer /healthz and /metrics).
-func (s *Server) endpoint(name, method string, admit bool, h http.HandlerFunc) http.Handler {
+// the metrics label.
+func (s *Server) endpoint(name, method string, class admitClass, h http.HandlerFunc) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
@@ -42,13 +53,19 @@ func (s *Server) endpoint(name, method string, admit bool, h http.HandlerFunc) h
 			writeError(rec, http.StatusServiceUnavailable, "server draining")
 			return
 		}
-		if admit {
+		if class != admitNone {
+			sem := s.sem
+			what := "requests"
+			if class == admitWrite {
+				sem = s.wsem
+				what = "writes"
+			}
 			select {
-			case s.sem <- struct{}{}:
+			case sem <- struct{}{}:
 				s.metrics.inFlight.Add(1)
 				defer func() {
 					s.metrics.inFlight.Add(-1)
-					<-s.sem
+					<-sem
 				}()
 			default:
 				// Admission control: shedding beats queueing — the client
@@ -56,8 +73,11 @@ func (s *Server) endpoint(name, method string, admit bool, h http.HandlerFunc) h
 				// of joining an unbounded queue that grows p99 for
 				// everyone.
 				s.metrics.rejected.Add(1)
+				if class == admitWrite {
+					s.metrics.writesShed.Add(1)
+				}
 				rec.Header().Set("Retry-After", "1")
-				writeError(rec, http.StatusTooManyRequests, "too many in-flight requests")
+				writeError(rec, http.StatusTooManyRequests, "too many in-flight "+what)
 				return
 			}
 		}

@@ -29,9 +29,13 @@ type Config struct {
 	// CacheSize is the result-cache capacity in responses (default
 	// 4096; negative disables the cache).
 	CacheSize int
-	// MaxInFlight bounds admitted requests; excess get 429 +
-	// Retry-After (default 256).
+	// MaxInFlight bounds admitted read requests (search); excess get
+	// 429 + Retry-After (default 256).
 	MaxInFlight int
+	// MaxInFlightWrites bounds admitted write requests (insert, delete,
+	// rebuild) on a separate budget, so a write flood is shed without
+	// costing search admission — and vice versa (default 64).
+	MaxInFlightWrites int
 	// DefaultTimeout applies when a request carries no timeout_ms
 	// (default 2s).
 	DefaultTimeout time.Duration
@@ -52,6 +56,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxInFlight <= 0 {
 		c.MaxInFlight = 256
 	}
+	if c.MaxInFlightWrites <= 0 {
+		c.MaxInFlightWrites = 64
+	}
 	if c.DefaultTimeout <= 0 {
 		c.DefaultTimeout = 2 * time.Second
 	}
@@ -71,7 +78,12 @@ type Server struct {
 	cache   *resultCache
 	batcher *batcher
 	mux     *http.ServeMux
-	sem     chan struct{}
+	sem     chan struct{} // read admission (search)
+	wsem    chan struct{} // write admission (insert, delete, rebuild)
+
+	// maint, when attached, surfaces background-maintenance counters in
+	// /v1/stats and /metrics; the loop itself runs in the daemon.
+	maint *must.Maintainer
 
 	draining atomic.Bool
 
@@ -95,6 +107,7 @@ func New(eng must.Service, cfg Config) *Server {
 		metrics: NewMetrics(),
 		cache:   newResultCache(cfg.CacheSize),
 		sem:     make(chan struct{}, cfg.MaxInFlight),
+		wsem:    make(chan struct{}, cfg.MaxInFlightWrites),
 		schema:  eng.Schema(),
 		byName:  make(map[string]int),
 	}
@@ -105,13 +118,13 @@ func New(eng must.Service, cfg Config) *Server {
 		s.batcher = newBatcher(eng, cfg.MaxBatch, cfg.BatchDelay, cfg.BatchWorkers, s.metrics.ObserveBatch, s.metrics.ObserveBatchPanic)
 	}
 	mux := http.NewServeMux()
-	mux.Handle("/v1/search", s.endpoint("search", http.MethodPost, true, s.handleSearch))
-	mux.Handle("/v1/insert", s.endpoint("insert", http.MethodPost, true, s.handleInsert))
-	mux.Handle("/v1/delete", s.endpoint("delete", http.MethodPost, true, s.handleDelete))
-	mux.Handle("/v1/rebuild", s.endpoint("rebuild", http.MethodPost, true, s.handleRebuild))
-	mux.Handle("/v1/stats", s.endpoint("stats", http.MethodGet, false, s.handleStats))
+	mux.Handle("/v1/search", s.endpoint("search", http.MethodPost, admitRead, s.handleSearch))
+	mux.Handle("/v1/insert", s.endpoint("insert", http.MethodPost, admitWrite, s.handleInsert))
+	mux.Handle("/v1/delete", s.endpoint("delete", http.MethodPost, admitWrite, s.handleDelete))
+	mux.Handle("/v1/rebuild", s.endpoint("rebuild", http.MethodPost, admitWrite, s.handleRebuild))
+	mux.Handle("/v1/stats", s.endpoint("stats", http.MethodGet, admitNone, s.handleStats))
 	mux.Handle("/healthz", http.HandlerFunc(s.handleHealthz))
-	mux.Handle("/metrics", s.endpoint("metrics", http.MethodGet, false, s.handleMetrics))
+	mux.Handle("/metrics", s.endpoint("metrics", http.MethodGet, admitNone, s.handleMetrics))
 	s.mux = mux
 	return s
 }
@@ -122,6 +135,11 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // Metrics exposes the registry (the daemon's snapshot loop and tests
 // read counters through it).
 func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// AttachMaintainer surfaces a background maintainer's counters in
+// /v1/stats and /metrics. Call before serving; the maintainer's
+// lifecycle (Close) stays with the caller.
+func (s *Server) AttachMaintainer(m *must.Maintainer) { s.maint = m }
 
 // StartDraining flips the server into drain mode: /healthz turns 503 so
 // load balancers stop routing here, and every new API request is
@@ -292,6 +310,15 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 	for i, o := range objects {
 		id, err := s.eng.Insert(o)
 		if err != nil {
+			if errors.Is(err, must.ErrOverloaded) {
+				// Engine backpressure: the write budget (or maintenance
+				// debt) is exhausted. Inserts before the refusal stay
+				// inserted; tell the client so it can retry just the rest.
+				w.Header().Set("Retry-After", "1")
+				writeError(w, http.StatusTooManyRequests,
+					fmt.Sprintf("overloaded, write shed (inserted %d of %d; retry the rest)", len(ids), len(objects)))
+				return
+			}
 			// Inserts before the failure stay inserted; report both so
 			// the client can reconcile.
 			writeError(w, http.StatusBadRequest,
@@ -316,6 +343,12 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	deleted := 0
 	for _, id := range req.IDs {
 		if err := s.eng.Delete(id); err != nil {
+			if errors.Is(err, must.ErrOverloaded) {
+				w.Header().Set("Retry-After", "1")
+				writeError(w, http.StatusTooManyRequests,
+					fmt.Sprintf("overloaded, write shed (deleted %d of %d; retry the rest)", deleted, len(req.IDs)))
+				return
+			}
 			code := http.StatusNotFound
 			if errors.Is(err, must.ErrNotBuilt) {
 				code = http.StatusConflict
@@ -368,9 +401,17 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	for i, m := range s.schema {
 		schema[i] = ModalityInfo{Name: m.Name, Dim: m.Dim}
 	}
+	// ShardRebuilder catches both a bare ShardedEngine and one behind a
+	// durable wrapper; a single engine reports ShardCount 1 and no shard
+	// block.
 	var shards []must.ShardInfo
-	if se, ok := s.eng.(*must.ShardedEngine); ok {
-		shards = se.ShardStats()
+	if sr, ok := s.eng.(must.ShardRebuilder); ok && sr.ShardCount() > 1 {
+		shards = sr.ShardStats()
+	}
+	var maintStats *must.MaintStats
+	if s.maint != nil {
+		st := s.maint.Stats()
+		maintStats = &st
 	}
 	writeJSON(w, StatsResponse{
 		Schema:  schema,
@@ -391,8 +432,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Rejected:       s.metrics.rejected.Load(),
 			PartialResults: s.metrics.partialResults.Load(),
 			BatchPanics:    s.metrics.batchPanics.Load(),
+			WritesShed:     s.metrics.writesShed.Load() + s.eng.WritesShed(),
 		},
-		Shards: shards,
+		Shards:      shards,
+		Maintenance: maintStats,
 	})
 }
 
@@ -407,5 +450,5 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.metrics.WritePrometheus(w, s.eng, s.cache)
+	s.metrics.WritePrometheus(w, s.eng, s.cache, s.maint)
 }

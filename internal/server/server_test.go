@@ -504,7 +504,7 @@ func TestMetricsHistogramRendering(t *testing.T) {
 	m.ObserveBatch(64)
 	eng, _, _ := testEngine(t, 60)
 	var sb strings.Builder
-	m.WritePrometheus(&sb, eng, newResultCache(4))
+	m.WritePrometheus(&sb, eng, newResultCache(4), nil)
 	out := sb.String()
 	for _, want := range []string{
 		`mustd_requests_total{endpoint="search",code="200"} 2`,
@@ -523,7 +523,7 @@ func TestMetricsHistogramRendering(t *testing.T) {
 	}
 	// Scrapes are deterministic: same registry renders identically.
 	var sb2 strings.Builder
-	m.WritePrometheus(&sb2, eng, newResultCache(4))
+	m.WritePrometheus(&sb2, eng, newResultCache(4), nil)
 	if sb2.String() != out {
 		t.Error("two scrapes of an idle registry differ")
 	}

@@ -49,6 +49,12 @@ const (
 	// OpRebuild carries no data; replay builds (if unbuilt) or rebuilds.
 	// Logged so that a replayed delete never lands on an unbuilt engine.
 	OpRebuild Op = 3
+	// OpRebuildShard carries a u32 shard index; replay rebuilds that one
+	// shard. Logged instead of OpRebuild for maintenance-paced
+	// single-shard compactions: a full rebuild bumps every shard's epoch
+	// while a shard rebuild bumps one, and epoch-guarded replay relies on
+	// reproducing exactly the logged epoch sequence.
+	OpRebuildShard Op = 4
 )
 
 // SyncPolicy controls when appends reach stable storage.

@@ -334,6 +334,9 @@ type Index struct {
 	// are never returned. A rebuild (Build on a compacted collection)
 	// removes them for real.
 	dead []bool
+	// deadCount tracks the set bits of dead so Deleted (called on every
+	// Engine.Len and by maintenance sampling) stays O(1).
+	deadCount int
 }
 
 // Build constructs the fused proximity-graph index over the collection
@@ -490,7 +493,10 @@ func (ix *Index) Delete(id int) error {
 		copy(grown, ix.dead)
 		ix.dead = grown
 	}
-	ix.dead[id] = true
+	if !ix.dead[id] {
+		ix.dead[id] = true
+		ix.deadCount++
+	}
 	return nil
 }
 
@@ -515,13 +521,7 @@ func (ix *Index) Insert(o Object) (int, error) {
 // relative to the collection, rebuild the index (the paper's periodic
 // reconstruction, §IX).
 func (ix *Index) Deleted() int {
-	n := 0
-	for _, d := range ix.dead {
-		if d {
-			n++
-		}
-	}
-	return n
+	return ix.deadCount
 }
 
 // Stats summarizes the built index, including the per-component memory
@@ -562,6 +562,17 @@ type Stats struct {
 	// QuantizedBytes is the memory committed to the SQ8 shadow store
 	// (≈ CorpusBytes/4); 0 when quantization is not enabled.
 	QuantizedBytes int64 `json:"quantized_bytes"`
+	// OverlayVertices counts vertices living in the incremental-insert
+	// overlay rather than the sealed CSR — the compaction debt a rebuild
+	// pays off.
+	OverlayVertices int `json:"overlay_vertices"`
+	// OverlayRatio is OverlayVertices / Objects: the maintenance
+	// scheduler compares it against its overlay watermark.
+	OverlayRatio float64 `json:"overlay_ratio"`
+	// TombstoneRatio is tombstoned objects / Objects: the fraction of
+	// the graph that routes but never returns. The maintenance scheduler
+	// compares it against its tombstone watermark.
+	TombstoneRatio float64 `json:"tombstone_ratio"`
 	// KernelVariant names the dot-kernel implementation serving this
 	// process: "avx2", "neon", or "go" (the pure-Go fallback).
 	KernelVariant string `json:"kernel_variant"`
@@ -584,8 +595,15 @@ func (ix *Index) Stats() Stats {
 	if edges > 0 {
 		perEdge = float64(ix.f.SizeBytes()) / float64(edges)
 	}
+	objects := ix.f.Graph.NumVertices()
+	overlay := ix.f.Graph.OverlayVertices()
+	var overlayRatio, tombstoneRatio float64
+	if objects > 0 {
+		overlayRatio = float64(overlay) / float64(objects)
+		tombstoneRatio = float64(ix.deadCount) / float64(objects)
+	}
 	return Stats{
-		Objects:           ix.f.Graph.NumVertices(),
+		Objects:           objects,
 		Edges:             edges,
 		AvgDegree:         ix.f.Graph.AvgDegree(),
 		SizeBytes:         ix.f.SizeBytes(),
@@ -594,6 +612,9 @@ func (ix *Index) Stats() Stats {
 		RawVectorBytes:    raw,
 		FusedBytes:        ix.f.FusedBytes(),
 		QuantizedBytes:    quant,
+		OverlayVertices:   overlay,
+		OverlayRatio:      overlayRatio,
+		TombstoneRatio:    tombstoneRatio,
 		KernelVariant:     vec.KernelName(),
 		BuildTime:         int64(ix.f.BuildTime),
 		Algorithm:         ix.f.Pipeline,

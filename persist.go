@@ -658,9 +658,15 @@ func ReadEngine(r io.Reader) (*Engine, error) {
 		ix.SetBuildOptions(bo)
 		if anyDead {
 			ix.dead = dead
+			for _, d := range dead {
+				if d {
+					ix.deadCount++
+				}
+			}
 		}
 		e.ix = ix
 		e.resetSearchersLocked()
+		e.updateDebtLocked()
 	}
 	return e, nil
 }

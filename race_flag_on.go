@@ -1,0 +1,7 @@
+//go:build race
+
+package must
+
+// raceDetectorOn reports whether the binary was built with -race;
+// heavyweight soak parameters shrink when it is.
+const raceDetectorOn = true

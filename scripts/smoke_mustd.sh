@@ -182,4 +182,73 @@ curl -sf -X POST "http://$addr/v1/search" \
 kill -TERM "$daemon_pid"
 wait "$daemon_pid" || fail "wal daemon exited non-zero on SIGTERM"
 
-echo "mustd smoke test passed (single + 4-shard + WAL crash recovery)"
+# --- Maintenance-soak pass: boot with the background maintenance
+# manager and a low debt watermark, push tombstones past both, and
+# require (a) writes shed with 429 + Retry-After while searches stay
+# 200, and (b) the manager rebuilds on its own — no /v1/rebuild call —
+# with the counters visible in /v1/stats and /metrics.
+"$workdir/mustd" -addr "$addr" -schema image:8,text:4 -shards 2 \
+  -maint -maint-interval 300ms -maint-gap 100ms -maint-tombstone 0.10 \
+  -debt-watermark 0.05 >"$workdir/mustd7.log" 2>&1 &
+daemon_pid=$!
+for _ in $(seq 1 50); do
+  curl -sf "http://$addr/healthz" >/dev/null 2>&1 && break
+  sleep 0.1
+done
+curl -sf "http://$addr/healthz" | grep -q ok || fail "maint daemon never became healthy: $(cat "$workdir/mustd7.log")"
+
+curl -sf -X POST "http://$addr/v1/insert" -d '{
+  "objects": [
+    {"image":[1,0,0,0,0,0,0,0], "text":[1,0,0,0]},
+    {"image":[0,1,0,0,0,0,0,0], "text":[0,1,0,0]},
+    {"image":[0,0,1,0,0,0,0,0], "text":[0,0,1,0]},
+    {"image":[0,0,0,1,0,0,0,0], "text":[0,0,0,1]},
+    {"image":[0,0,0,0,1,0,0,0], "text":[1,1,0,0]},
+    {"image":[0,0,0,0,0,1,0,0], "text":[0,1,1,0]},
+    {"image":[0,0,0,0,0,0,1,0], "text":[0,0,1,1]},
+    {"image":[0,0,0,0,0,0,0,1], "text":[1,0,0,1]}
+  ]}' | grep -q '"ids"' || fail "maint insert failed"
+curl -sf -X POST "http://$addr/v1/rebuild" -d '{}' | grep -q '"built":true' || fail "maint initial rebuild failed"
+
+# Each delete pushes the worst shard past the 0.05 debt watermark, so
+# the write after it must shed 429 — unless a maintenance rebuild
+# raced in between, in which case the next delete re-arms the debt.
+shed_id=""
+for id in 0 1 2 3 4 5; do
+  code=$(curl -s -o /dev/null -D "$workdir/shed.hdrs" -w '%{http_code}' \
+    -X POST "http://$addr/v1/delete" -d "{\"ids\":[$id]}")
+  if [ "$code" = 429 ]; then shed_id=$id; break; fi
+  [ "$code" = 200 ] || fail "maint delete $id returned $code"
+done
+[ -n "$shed_id" ] || fail "writes never shed past the debt watermark"
+grep -iq '^retry-after:' "$workdir/shed.hdrs" || fail "shed write missing Retry-After"
+# Reads are never gated by write backpressure.
+code=$(curl -s -o /dev/null -w '%{http_code}' -X POST "http://$addr/v1/search" -d "$search")
+[ "$code" = 200 ] || fail "search during write overload returned $code, want 200"
+
+# The manager must now rebuild the dirty shard on its own: tombstones
+# drain to zero and the rebuild counter moves, with no /v1/rebuild.
+healed=0
+for _ in $(seq 1 50); do
+  stats=$(curl -sf "http://$addr/v1/stats")
+  if ! echo "$stats" | grep -Eq '"deleted":[1-9]' && echo "$stats" | grep -Eq '"rebuilds":[1-9]'; then
+    healed=1; break
+  fi
+  sleep 0.1
+done
+[ "$healed" = 1 ] || fail "maintenance never rebuilt: $(curl -s "http://$addr/v1/stats")"
+curl -sf "http://$addr/v1/stats" | grep -q '"enabled":true' || fail "stats missing maintenance block"
+
+metrics=$(curl -sf "http://$addr/metrics")
+echo "$metrics" | grep -Eq 'must_maintenance_rebuilds_total [1-9]' \
+  || fail "metrics missing nonzero must_maintenance_rebuilds_total"
+echo "$metrics" | grep -Eq 'must_writes_shed_total [1-9]' \
+  || fail "metrics missing nonzero must_writes_shed_total"
+
+# Shed writes are retryable: after the self-heal the same delete lands.
+curl -sf -X POST "http://$addr/v1/delete" -d "{\"ids\":[$shed_id]}" >/dev/null \
+  || fail "retried write failed after self-heal"
+kill -TERM "$daemon_pid"
+wait "$daemon_pid" || fail "maint daemon exited non-zero on SIGTERM"
+
+echo "mustd smoke test passed (single + 4-shard + WAL crash recovery + maintenance soak)"

@@ -33,6 +33,17 @@ type Service interface {
 	Delete(id int64) error
 	Object(id int64) (NamedVectors, error)
 
+	// Admission. SetAdmission installs (or clears, with the zero value)
+	// the write-path gate: once configured, Insert/InsertObject/Delete
+	// past the budget fail fast with ErrOverloaded instead of queueing.
+	// Reads are never gated. WritesShed counts refusals since creation.
+	//
+	// A DurableService must be configured only after OpenDurable returns:
+	// WAL replay re-applies already-acked writes through this same path,
+	// and shedding one would silently drop durable data.
+	SetAdmission(o AdmissionOptions) error
+	WritesShed() uint64
+
 	// Weights.
 	Weights() Weights
 	SetWeights(w Weights) error
@@ -49,7 +60,22 @@ type Service interface {
 	Save(path string) error
 }
 
+// ShardRebuilder is the incremental-maintenance surface of a
+// partitioned service: rebuild one shard at a time, bounding compaction
+// work and transient memory to a single shard. ShardedEngine implements
+// it, and DurableService forwards it (logging each shard rebuild) when
+// its wrapped service does. The maintenance manager uses it to pace
+// rebuilds shard by shard; a service that does not implement it is
+// maintained with whole-engine Rebuild calls.
+type ShardRebuilder interface {
+	ShardCount() int
+	RebuildShard(j int) error
+	ShardStats() []ShardInfo
+}
+
 var (
-	_ Service = (*Engine)(nil)
-	_ Service = (*ShardedEngine)(nil)
+	_ Service        = (*Engine)(nil)
+	_ Service        = (*ShardedEngine)(nil)
+	_ ShardRebuilder = (*ShardedEngine)(nil)
+	_ ShardRebuilder = (*DurableService)(nil)
 )

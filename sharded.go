@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"must/internal/graph"
+	"must/internal/maint"
 	"must/internal/shard"
 )
 
@@ -56,6 +57,11 @@ type ShardInfo struct {
 	// engine-level value — per-shard writes stay per-shard, but caches
 	// keyed on the summed epoch still invalidate correctly.
 	Epoch uint64 `json:"epoch"`
+	// Health is the shard's circuit-breaker state ("healthy", "degraded",
+	// "quarantined", "probing"). Quarantined shards are skipped by the
+	// search fan-out until a half-open probe or an automatic rebuild
+	// re-admits them.
+	Health string `json:"health"`
 	// Stats is the shard's index statistics; zero until the shard is
 	// built.
 	Stats Stats `json:"stats"`
@@ -111,6 +117,65 @@ type ShardedEngine struct {
 	// builtShards counts shards that have a live graph. Zero means the
 	// engine as a whole is not built (searches return ErrNotBuilt).
 	builtShards atomic.Int32
+
+	// health[j] is shard j's circuit breaker: K consecutive panics or
+	// fan-out timeouts quarantine the shard (skipped by SearchEach until
+	// a half-open probe succeeds or a rebuild resets it). Always present;
+	// ConfigureHealth replaces the thresholds.
+	health []*maint.Breaker
+
+	// adm gates writes at the engine level — one shared budget across
+	// shards, debt read as the worst shard's ratio (see SetAdmission).
+	adm admission
+}
+
+// newShardHealth builds the per-shard breaker set with cfg (zero fields
+// take the maint defaults).
+func newShardHealth(n int, cfg maint.BreakerConfig) []*maint.Breaker {
+	hs := make([]*maint.Breaker, n)
+	for j := range hs {
+		hs[j] = maint.NewBreaker(cfg)
+	}
+	return hs
+}
+
+// HealthConfig tunes the per-shard circuit breakers; see ConfigureHealth.
+type HealthConfig struct {
+	// Threshold is K: consecutive shard panics or fan-out timeouts within
+	// Window before the shard is quarantined (default 3).
+	Threshold int
+	// Window bounds how far apart consecutive failures may be and still
+	// count as one run (default 10s).
+	Window time.Duration
+	// Probe is how long a quarantined shard stays fully skipped before
+	// one half-open probe request is routed to it (default 5s).
+	Probe time.Duration
+}
+
+// ConfigureHealth retunes every shard's circuit breaker in place (zero
+// fields take defaults), resetting all health state to healthy.
+// Breakers run with default thresholds from creation, so this is only
+// needed to change them.
+func (s *ShardedEngine) ConfigureHealth(cfg HealthConfig) {
+	for _, b := range s.health {
+		b.Configure(maint.BreakerConfig{
+			Threshold: cfg.Threshold,
+			Window:    cfg.Window,
+			Probe:     cfg.Probe,
+		})
+	}
+}
+
+// ShardHealth returns the per-shard circuit-breaker states (index =
+// shard): "healthy", "degraded", "quarantined", or "probing".
+func (s *ShardedEngine) ShardHealth() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, len(s.health))
+	for j, b := range s.health {
+		out[j] = b.State().String()
+	}
+	return out
 }
 
 // NewShardedEngine creates an empty sharded engine with the given schema
@@ -124,6 +189,7 @@ func NewShardedEngine(schema Schema, shards int, opts EngineOptions) (*ShardedEn
 		shards:  make([]*Engine, shards),
 		shardMu: make([]sync.Mutex, shards),
 		state:   make([]atomic.Uint32, shards),
+		health:  newShardHealth(shards, maint.BreakerConfig{}),
 	}
 	for j := range s.shards {
 		e, err := NewEngine(schema, opts)
@@ -189,6 +255,30 @@ func (s *ShardedEngine) Deleted() int {
 	return n
 }
 
+// SetAdmission installs (or, with the zero value, clears) write-path
+// admission control at the engine level: one in-flight write budget
+// shared across all shards, with maintenance debt read as the worst
+// shard's ratio. Gated writes fail fast with ErrOverloaded; searches
+// are never gated. See Engine.SetAdmission.
+func (s *ShardedEngine) SetAdmission(o AdmissionOptions) error {
+	return s.adm.configure(o)
+}
+
+// WritesShed returns how many writes admission control has refused.
+func (s *ShardedEngine) WritesShed() uint64 { return s.adm.writesShed() }
+
+// debtRatio reads the worst shard's cached maintenance-debt ratio (each
+// shard refreshes its own under its write lock).
+func (s *ShardedEngine) debtRatio() float64 {
+	var worst float64
+	for _, e := range s.shards {
+		if d := e.adm.debtRatio(); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
 // Insert adds an object and returns its stable global ID. The object is
 // routed round-robin, so only one shard's write lock is taken.
 func (s *ShardedEngine) Insert(v NamedVectors) (int64, error) {
@@ -209,6 +299,11 @@ func (s *ShardedEngine) Insert(v NamedVectors) (int64, error) {
 // the object is stored, the error is returned, and the next insert into
 // the shard retries the build.
 func (s *ShardedEngine) InsertObject(o Object) (int64, error) {
+	release, err := s.adm.admit(s.debtRatio())
+	if err != nil {
+		return 0, err
+	}
+	defer release()
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	n := len(s.shards)
@@ -227,15 +322,21 @@ func (s *ShardedEngine) InsertObject(o Object) (int64, error) {
 }
 
 // Delete tombstones the object with the given global ID. Only the owning
-// shard's write lock is taken.
+// shard's write lock is taken. Returns ErrOverloaded when admission
+// control sheds the write.
 func (s *ShardedEngine) Delete(id int64) error {
+	release, err := s.adm.admit(s.debtRatio())
+	if err != nil {
+		return err
+	}
+	defer release()
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	if id < 0 {
 		return fmt.Errorf("must: %w %d", ErrUnknownID, id)
 	}
 	j, local := shard.Split(id, len(s.shards))
-	err := s.shards[j].Delete(local)
+	err = s.shards[j].Delete(local)
 	switch {
 	case err == nil:
 		return nil
@@ -407,6 +508,11 @@ func (s *ShardedEngine) buildShard(j int, rebuild bool) error {
 		s.state[j].Store(uint32(ShardBuilding))
 		err := e.Rebuild()
 		s.state[j].Store(uint32(ShardBuilt))
+		if err == nil {
+			// The rebuild replaced the graph the failures were blamed on:
+			// re-admit the shard (quarantine's recovery path).
+			s.health[j].Reset()
+		}
 		return err
 	case ShardPending:
 		if e.Len() == 0 {
@@ -419,6 +525,7 @@ func (s *ShardedEngine) buildShard(j int, rebuild bool) error {
 		}
 		s.state[j].Store(uint32(ShardBuilt))
 		s.builtShards.Add(1)
+		s.health[j].Reset()
 		return nil
 	}
 	return nil
@@ -544,11 +651,27 @@ func (s *ShardedEngine) SearchEach(ctx context.Context, queries []Query, workers
 		return out, errs
 	}
 	n := len(s.shards)
-	var active []int
+	now := time.Now()
+	var active, quarantined []int
 	for j := range s.shards {
-		if ShardState(s.state[j].Load()) != ShardPending {
-			active = append(active, j)
+		if ShardState(s.state[j].Load()) == ShardPending {
+			continue
 		}
+		// The breaker admits healthy/degraded shards always and a
+		// quarantined shard once per probe interval (half-open probe);
+		// otherwise the shard is skipped and reported via ShardErrors.
+		if !s.health[j].Allow(now) {
+			quarantined = append(quarantined, j)
+			continue
+		}
+		active = append(active, j)
+	}
+	if len(active) == 0 {
+		err := fmt.Errorf("must: all shards quarantined")
+		for i := range errs {
+			errs[i] = err
+		}
+		return out, errs
 	}
 	perShard := workers
 	if perShard > 0 {
@@ -558,8 +681,17 @@ func (s *ShardedEngine) SearchEach(ctx context.Context, queries []Query, workers
 		}
 	}
 	type shardOut struct {
-		resps []*Response
-		errs  []error
+		resps    []*Response
+		errs     []error
+		panicked bool
+	}
+	anyPanicErr := func(es []error) bool {
+		for _, e := range es {
+			if errors.Is(e, errSearchPanicked) {
+				return true
+			}
+		}
+		return false
 	}
 	results := make([]shardOut, len(active))
 	done := make([]chan struct{}, len(active))
@@ -577,7 +709,7 @@ func (s *ShardedEngine) SearchEach(ctx context.Context, queries []Query, workers
 					for i := range es {
 						es[i] = perr
 					}
-					results[ai] = shardOut{errs: es}
+					results[ai] = shardOut{errs: es, panicked: true}
 				}
 			}()
 			qs := queries
@@ -598,7 +730,7 @@ func (s *ShardedEngine) SearchEach(ctx context.Context, queries []Query, workers
 				}
 			}
 			r, e := s.shards[j].SearchEach(ctx, qs, perShard)
-			results[ai] = shardOut{r, e}
+			results[ai] = shardOut{resps: r, errs: e}
 		}(ai)
 	}
 	// Collect until the deadline: a shard that has not finished when ctx
@@ -618,6 +750,20 @@ func (s *ShardedEngine) SearchEach(ctx context.Context, queries []Query, workers
 			}
 		}
 	}
+	// Feed the health breakers: a panic (in the shard worker or recovered
+	// inside the shard engine's own search path) or a fan-out timeout is
+	// a shard failure; a completed batch is a success. Non-panic
+	// per-query errors are neither — validation failures hit every shard
+	// identically and say nothing about shard health. A failed half-open
+	// probe re-quarantines.
+	for ai, j := range active {
+		switch {
+		case !finished[ai] || results[ai].panicked || anyPanicErr(results[ai].errs):
+			s.health[j].Failure(time.Now())
+		default:
+			s.health[j].Success()
+		}
+	}
 	for i := range queries {
 		k := queries[i].K
 		if k == 0 {
@@ -628,6 +774,9 @@ func (s *ShardedEngine) SearchEach(ctx context.Context, queries []Query, workers
 		var latency time.Duration
 		var qerr error
 		var shardErrs []ShardError
+		for _, j := range quarantined {
+			shardErrs = append(shardErrs, ShardError{Shard: j, Err: "shard quarantined"})
+		}
 		for ai, j := range active {
 			if !finished[ai] {
 				shardErrs = append(shardErrs, ShardError{Shard: j, Err: ctx.Err().Error()})
@@ -744,6 +893,7 @@ func (s *ShardedEngine) Stats() (Stats, error) {
 		return Stats{}, ErrNotBuilt
 	}
 	var agg Stats
+	tombstones := 0
 	for j := range s.shards {
 		if ShardState(s.state[j].Load()) == ShardPending {
 			continue
@@ -759,6 +909,8 @@ func (s *ShardedEngine) Stats() (Stats, error) {
 		agg.RawVectorBytes += st.RawVectorBytes
 		agg.FusedBytes += st.FusedBytes
 		agg.QuantizedBytes += st.QuantizedBytes
+		agg.OverlayVertices += st.OverlayVertices
+		tombstones += s.shards[j].Deleted()
 		if agg.KernelVariant == "" {
 			agg.KernelVariant = st.KernelVariant
 		}
@@ -771,6 +923,8 @@ func (s *ShardedEngine) Stats() (Stats, error) {
 	}
 	if agg.Objects > 0 {
 		agg.AvgDegree = float64(agg.Edges) / float64(agg.Objects)
+		agg.OverlayRatio = float64(agg.OverlayVertices) / float64(agg.Objects)
+		agg.TombstoneRatio = float64(tombstones) / float64(agg.Objects)
 	}
 	if agg.Edges > 0 {
 		agg.GraphBytesPerEdge = float64(agg.SizeBytes) / float64(agg.Edges)
@@ -790,6 +944,7 @@ func (s *ShardedEngine) ShardStats() []ShardInfo {
 			Objects: e.Len(),
 			Deleted: e.Deleted(),
 			Epoch:   e.Epoch(),
+			Health:  s.health[j].State().String(),
 		}
 		if st, err := e.Stats(); err == nil {
 			info.Stats = st

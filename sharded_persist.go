@@ -9,6 +9,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"must/internal/maint"
 	"must/internal/shard"
 )
 
@@ -103,6 +104,7 @@ func assembleSharded(shards []*Engine, rr uint64) (*ShardedEngine, error) {
 		shards:  shards,
 		shardMu: make([]sync.Mutex, len(shards)),
 		state:   make([]atomic.Uint32, len(shards)),
+		health:  newShardHealth(len(shards), maint.BreakerConfig{}),
 	}
 	s.schema = shards[0].Schema()
 	want := s.schema.Names()
