@@ -209,6 +209,9 @@ func run(addr, schemaSpec, load, snapshot string, snapEvery time.Duration, gamma
 			return fmt.Errorf("configuring admission: %w", err)
 		}
 		log.Printf("write admission on (max pending %d, debt watermark %.2f)", adm.MaxPendingWrites, adm.DebtWatermark)
+		if adm.DebtWatermark > 0 && !mc.enabled {
+			log.Printf("warning: -debt-watermark %.2f is set but -maint is off: once maintenance debt crosses the watermark, writes are shed with 429 indefinitely — nothing reduces debt except a rebuild; enable -maint or POST /v1/rebuild manually", adm.DebtWatermark)
+		}
 	}
 	srv := server.New(eng, cfg)
 

@@ -2,6 +2,7 @@ package must
 
 import (
 	"context"
+	"errors"
 	"strings"
 	"testing"
 	"time"
@@ -133,17 +134,109 @@ func TestAllShardsQuarantinedErrors(t *testing.T) {
 	const S = 2
 	s := newSharded(t, shardedObjects(100, 1), S, true)
 	s.ConfigureHealth(HealthConfig{Threshold: 1, Window: time.Minute, Probe: time.Hour})
-	q := Query{
+	// Trip every breaker directly (a query can no longer do this: panics
+	// that hit most shards at once are query-correlated and ignored).
+	for _, b := range s.health {
+		b.Failure(time.Now())
+	}
+	_, err := s.Search(context.Background(), Query{Vectors: shardedQueries(1, 2)[0], K: 5})
+	if !errors.Is(err, ErrAllQuarantined) {
+		t.Fatalf("err = %v, want ErrAllQuarantined", err)
+	}
+	if !strings.Contains(err.Error(), "quarantined") {
+		t.Fatalf("err = %v, want a quarantine message", err)
+	}
+}
+
+// TestQueryCorrelatedPanicDoesNotQuarantine: a bad query whose filter
+// panics on every shard is the client's fault, not the shards' — even a
+// stream of them must not trip any breaker, or one misbehaving client
+// would quarantine the whole cluster (sustained read outage).
+func TestQueryCorrelatedPanicDoesNotQuarantine(t *testing.T) {
+	const S = 4
+	s := newSharded(t, shardedObjects(400, 1), S, true)
+	s.ConfigureHealth(HealthConfig{Threshold: 1, Window: time.Minute, Probe: time.Hour})
+	bad := Query{
 		Vectors: shardedQueries(1, 2)[0],
 		Filter:  func(id int64) bool { panic("everything is sick") },
 		K:       5,
 	}
-	// One all-shards panic trips every breaker at threshold 1.
-	if _, err := s.Search(context.Background(), q); err == nil {
-		t.Fatal("all-shards panic returned no error")
+	for i := 0; i < 3; i++ {
+		// The query itself still fails (every shard failed it)...
+		if _, err := s.Search(context.Background(), bad); err == nil {
+			t.Fatalf("all-shards panic %d returned no error", i)
+		}
 	}
-	_, err := s.Search(context.Background(), Query{Vectors: shardedQueries(1, 2)[0], K: 5})
-	if err == nil || !strings.Contains(err.Error(), "quarantined") {
-		t.Fatalf("err = %v, want all-shards-quarantined error", err)
+	// ...but no shard is blamed, and good traffic is untouched.
+	for j, h := range s.ShardHealth() {
+		if h != maint.Healthy.String() {
+			t.Fatalf("shard %d health = %q after correlated panics, want healthy", j, h)
+		}
+	}
+	resp, err := s.Search(context.Background(), Query{Vectors: shardedQueries(1, 2)[0], K: 5})
+	if err != nil {
+		t.Fatalf("good search after correlated panics: %v", err)
+	}
+	if resp.Partial {
+		t.Fatalf("good search degraded after correlated panics: %+v", resp.ShardErrors)
+	}
+}
+
+// TestCorrelatedTimeoutDoesNotQuarantine: a deadline the whole fan-out
+// missed together (overload, caller-chosen tiny budget) is not evidence
+// against any shard; only a straggler that missed a deadline most
+// shards met is.
+func TestCorrelatedTimeoutDoesNotQuarantine(t *testing.T) {
+	const S = 4
+	s := newSharded(t, shardedObjects(400, 1), S, true)
+	s.ConfigureHealth(HealthConfig{Threshold: 1, Window: time.Minute, Probe: time.Hour})
+	hang := make(chan struct{})
+	defer close(hang)
+	q := Query{
+		Vectors: shardedQueries(1, 2)[0],
+		K:       5,
+		Filter:  func(id int64) bool { <-hang; return true },
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if _, err := s.Search(ctx, q); err == nil {
+		t.Fatal("all-shards hang returned no error")
+	}
+	for j, h := range s.ShardHealth() {
+		if h == maint.Quarantined.String() {
+			t.Fatalf("shard %d quarantined by a correlated timeout", j)
+		}
+	}
+	resp, err := s.Search(context.Background(), Query{Vectors: shardedQueries(1, 2)[0], K: 5})
+	if err != nil {
+		t.Fatalf("good search after correlated timeout: %v", err)
+	}
+	if resp.Partial {
+		t.Fatalf("good search degraded after correlated timeout: %+v", resp.ShardErrors)
+	}
+}
+
+// TestStragglerTimeoutQuarantines: the counterpart — a shard that
+// misses a deadline the other shards comfortably met is a true
+// straggler and does feed its breaker.
+func TestStragglerTimeoutQuarantines(t *testing.T) {
+	const S = 4
+	s := newSharded(t, shardedObjects(400, 1), S, true)
+	s.ConfigureHealth(HealthConfig{Threshold: 1, Window: time.Minute, Probe: time.Hour})
+	hang := make(chan struct{})
+	defer close(hang)
+	q := sickShardQuery(shardedQueries(1, 2)[0], 2, S, func() { <-hang })
+	ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+	defer cancel()
+	if _, err := s.Search(ctx, q); err != nil {
+		t.Fatalf("one hanging shard must degrade, not fail: %v", err)
+	}
+	if got := s.ShardHealth()[2]; got != maint.Quarantined.String() {
+		t.Fatalf("straggler shard health = %q, want quarantined", got)
+	}
+	for j, h := range s.ShardHealth() {
+		if j != 2 && h != maint.Healthy.String() {
+			t.Fatalf("shard %d health = %q, want healthy", j, h)
+		}
 	}
 }

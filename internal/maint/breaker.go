@@ -165,7 +165,10 @@ func (b *Breaker) Success() {
 // request per Probe interval — the half-open probe, whose admission
 // moves the breaker to Probing; while that probe is in flight all
 // other requests are refused, and its outcome (Success/Failure)
-// decides re-admission.
+// decides re-admission. A probe whose outcome never arrives (the
+// fan-out was cancelled and its worker abandoned, or the caller deemed
+// the batch neutral) does not wedge the breaker: after another Probe
+// interval a fresh probe is admitted.
 func (b *Breaker) Allow(now time.Time) bool {
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -173,6 +176,10 @@ func (b *Breaker) Allow(now time.Time) bool {
 	case Healthy, Degraded:
 		return true
 	case Probing:
+		if now.Sub(b.lastProbe) >= b.cfg.Probe {
+			b.lastProbe = now
+			return true
+		}
 		return false
 	}
 	if now.Sub(b.lastProbe) >= b.cfg.Probe {

@@ -93,6 +93,35 @@ func TestBreakerHalfOpenProbe(t *testing.T) {
 	}
 }
 
+// TestBreakerAbandonedProbeReadmits: a probe whose outcome never
+// arrives (the fan-out was cancelled, or the batch was judged neutral)
+// must not wedge the breaker half-open forever — after another probe
+// interval a fresh probe is admitted.
+func TestBreakerAbandonedProbeReadmits(t *testing.T) {
+	b := NewBreaker(BreakerConfig{Threshold: 1, Window: time.Second, Probe: time.Second})
+	now := time.Unix(1000, 0)
+	b.Failure(now)
+	if !b.Allow(now.Add(time.Second)) {
+		t.Fatal("probe not admitted after interval")
+	}
+	// The probe's outcome never lands; before another interval elapses
+	// requests stay refused...
+	if b.Allow(now.Add(1500 * time.Millisecond)) {
+		t.Fatal("admitted while a probe was still pending")
+	}
+	// ...and after it, a fresh probe is admitted instead of wedging.
+	if !b.Allow(now.Add(2 * time.Second)) {
+		t.Fatal("abandoned probe wedged the breaker")
+	}
+	if got := b.State(); got != Probing {
+		t.Fatalf("state=%v want Probing", got)
+	}
+	b.Success()
+	if got := b.State(); got != Healthy {
+		t.Fatalf("state=%v want Healthy after fresh probe succeeded", got)
+	}
+}
+
 func TestBreakerReset(t *testing.T) {
 	b := NewBreaker(BreakerConfig{Threshold: 1})
 	b.Failure(time.Unix(1000, 0))

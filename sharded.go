@@ -14,6 +14,14 @@ import (
 	"must/internal/shard"
 )
 
+// ErrAllQuarantined is returned by Search/SearchEach when every built
+// shard's health breaker is open, so the fan-out has nowhere to route
+// the query. The condition is transient: each breaker re-admits a
+// half-open probe within its probe interval (default 5s), and a
+// maintenance rebuild resets it sooner. Callers should retry shortly;
+// mustd maps it to 503 + Retry-After.
+var ErrAllQuarantined = errors.New("must: all shards quarantined")
+
 // ShardState is the build-progress state of one shard of a ShardedEngine.
 type ShardState uint32
 
@@ -118,9 +126,11 @@ type ShardedEngine struct {
 	// engine as a whole is not built (searches return ErrNotBuilt).
 	builtShards atomic.Int32
 
-	// health[j] is shard j's circuit breaker: K consecutive panics or
-	// fan-out timeouts quarantine the shard (skipped by SearchEach until
-	// a half-open probe succeeds or a rebuild resets it). Always present;
+	// health[j] is shard j's circuit breaker: K consecutive
+	// shard-attributable failures — minority panics or straggler
+	// timeouts, never query-correlated ones that hit most shards at once
+	// — quarantine the shard (skipped by SearchEach until a half-open
+	// probe succeeds or a rebuild resets it). Always present;
 	// ConfigureHealth replaces the thresholds.
 	health []*maint.Breaker
 
@@ -141,8 +151,9 @@ func newShardHealth(n int, cfg maint.BreakerConfig) []*maint.Breaker {
 
 // HealthConfig tunes the per-shard circuit breakers; see ConfigureHealth.
 type HealthConfig struct {
-	// Threshold is K: consecutive shard panics or fan-out timeouts within
-	// Window before the shard is quarantined (default 3).
+	// Threshold is K: consecutive shard-attributable failures (panics on
+	// a minority of shards, or a fan-out timeout that only this shard
+	// missed) within Window before the shard is quarantined (default 3).
 	Threshold int
 	// Window bounds how far apart consecutive failures may be and still
 	// count as one run (default 10s).
@@ -667,9 +678,8 @@ func (s *ShardedEngine) SearchEach(ctx context.Context, queries []Query, workers
 		active = append(active, j)
 	}
 	if len(active) == 0 {
-		err := fmt.Errorf("must: all shards quarantined")
 		for i := range errs {
-			errs[i] = err
+			errs[i] = ErrAllQuarantined
 		}
 		return out, errs
 	}
@@ -750,16 +760,50 @@ func (s *ShardedEngine) SearchEach(ctx context.Context, queries []Query, workers
 			}
 		}
 	}
-	// Feed the health breakers: a panic (in the shard worker or recovered
-	// inside the shard engine's own search path) or a fan-out timeout is
-	// a shard failure; a completed batch is a success. Non-panic
-	// per-query errors are neither — validation failures hit every shard
-	// identically and say nothing about shard health. A failed half-open
-	// probe re-quarantines.
+	// Feed the health breakers. A failure must be shard-attributable, or
+	// one misbehaving client would trip every breaker at once and turn
+	// graceful degradation into a cluster-wide outage:
+	//
+	//   - A panic (in the shard worker or recovered inside the shard
+	//     engine's own search path) counts against a shard only when a
+	//     minority of the active shards panicked in this batch. A panic
+	//     on a strict majority — e.g. a Query.Filter that panics on every
+	//     ID — is query-correlated: it says nothing about any one shard,
+	//     so it is treated like a validation error (which also hits every
+	//     shard identically) rather than as S simultaneous shard faults.
+	//   - A shard unfinished at ctx expiry counts as a failure only when
+	//     the deadline was exceeded AND a strict majority of shards did
+	//     finish — a true straggler. Caller cancellation, or a deadline
+	//     that most shards missed together (the whole fan-out was slow
+	//     under load), is neutral: neither failure nor success.
+	//
+	// A completed, non-panicking batch is a success; non-panic per-query
+	// errors count as successes too. A failed half-open probe
+	// re-quarantines; a neutral outcome leaves the breaker probing, and
+	// Allow re-admits a fresh probe after another probe interval.
+	nFinished, nPanicked := 0, 0
+	panicked := make([]bool, len(active))
+	for ai := range active {
+		if !finished[ai] {
+			continue
+		}
+		nFinished++
+		if results[ai].panicked || anyPanicErr(results[ai].errs) {
+			panicked[ai] = true
+			nPanicked++
+		}
+	}
+	queryCorrelatedPanic := nPanicked*2 > len(active)
+	straggler := errors.Is(ctx.Err(), context.DeadlineExceeded) && nFinished*2 > len(active)
+	feedAt := time.Now()
 	for ai, j := range active {
 		switch {
-		case !finished[ai] || results[ai].panicked || anyPanicErr(results[ai].errs):
-			s.health[j].Failure(time.Now())
+		case !finished[ai]:
+			if straggler {
+				s.health[j].Failure(feedAt)
+			}
+		case panicked[ai] && !queryCorrelatedPanic:
+			s.health[j].Failure(feedAt)
 		default:
 			s.health[j].Success()
 		}
